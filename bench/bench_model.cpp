@@ -1,0 +1,205 @@
+// Experiment E10 plus substrate microbenchmarks.
+//
+// E10 validates Lemma 2.2 at scale (merge random disjoint partial runs and
+// replay) and reports scheduler throughput; the microbenchmarks cover the
+// primitives everything else is built on (ProcessSet ops, varint codec,
+// replay).
+#include "bench_util.hpp"
+#include "algo/mr_consensus.hpp"
+#include "check/model_checker.hpp"
+#include "fd/scripted.hpp"
+#include "sim/merge.hpp"
+
+namespace nucon::bench {
+namespace {
+
+void experiments() {
+  // E10: Lemma 2.2 sweep — merge disjoint halves of a 6-process system
+  // under a fixed partition oracle, replay, and compare states.
+  constexpr Pid kN = 6;
+  ProcessSet side_a, side_b;
+  for (Pid p = 0; p < kN / 2; ++p) side_a.insert(p);
+  for (Pid p = kN / 2; p < kN; ++p) side_b.insert(p);
+
+  const AutomatonFactory factory = [](Pid p) -> std::unique_ptr<Automaton> {
+    return std::make_unique<MrConsensus>(
+        p, p < kN / 2 ? 0 : 1, MrOptions{kN, MrQuorumMode::kFdQuorum});
+  };
+
+  int merged_ok = 0;
+  int states_match = 0;
+  const int trials = 50;
+  Accumulator merged_steps;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t seed = 1 + static_cast<std::uint64_t>(i);
+    const FailurePattern fp(kN);
+    ScriptedOracle oracle([side_a, side_b](Pid p, Time) {
+      const ProcessSet side = side_a.contains(p) ? side_a : side_b;
+      FdValue v = FdValue::of_quorum(side);
+      v.set_leader(side.min());
+      return v;
+    });
+
+    SchedulerOptions opts;
+    opts.seed = seed;
+    opts.max_steps = 300;
+    opts.restrict_to = side_a;
+    SimResult run_a = simulate(fp, oracle, factory, opts);
+    opts.restrict_to = side_b;
+    opts.seed = seed + 1000;
+    SimResult run_b = simulate(fp, oracle, factory, opts);
+
+    const auto merged = merge_runs(run_a.run, run_b.run);
+    if (!merged) continue;
+    const ReplayOutcome outcome = replay(*merged, kN, factory);
+    if (!outcome.ok || check_run_structure(*merged)) continue;
+    ++merged_ok;
+    merged_steps.add(static_cast<double>(merged->steps.size()));
+
+    bool all_match = true;
+    for (Pid p = 0; p < kN; ++p) {
+      const auto& original = side_a.contains(p) ? run_a : run_b;
+      all_match = all_match &&
+                  outcome.automata[static_cast<std::size_t>(p)]->snapshot() ==
+                      original.automata[static_cast<std::size_t>(p)]->snapshot();
+    }
+    if (all_match) ++states_match;
+  }
+
+  TextTable t({"trials", "merged_valid", "states_match", "mean_steps"});
+  t.add_row({std::to_string(trials), std::to_string(merged_ok),
+             std::to_string(states_match),
+             TextTable::fmt(merged_steps.mean(), 0)});
+  print_section("E10: Lemma 2.2 merge-and-replay sweep", t);
+
+  // E16: exhaustive schedule exploration at n=2. The naive Sigma^nu
+  // algorithm's agreement violation is FOUND; MR-Sigma is certified safe
+  // over the full bounded space; state counts show the growth the dedup
+  // tames.
+  {
+    TextTable mc({"system", "history", "depth", "states", "deduped",
+                  "outcome"});
+    const auto partition_fd = [](Pid p, int) {
+      FdValue v = FdValue::of_quorum(ProcessSet::single(p));
+      v.set_leader(p);
+      return v;
+    };
+    const auto sigma_fd = [](Pid p, int) {
+      FdValue v = FdValue::of_quorum(ProcessSet{0, 1});
+      v.set_leader(p);
+      return v;
+    };
+
+    {
+      McOptions o;
+      o.n = 2;
+      o.make = make_mr_fd_quorum(2);
+      o.proposals = {0, 1};
+      o.fd = partition_fd;
+      o.max_depth = 16;
+      o.max_states = 2'000'000;
+      const McResult r = model_check_consensus(o);
+      mc.add_row({"naive MR+Sigma^nu", "partition", "16",
+                  std::to_string(r.states_explored),
+                  std::to_string(r.states_deduped),
+                  r.violation_found
+                      ? "VIOLATION in " + std::to_string(r.witness.size()) +
+                            " steps (expected)"
+                      : "none (unexpected)"});
+    }
+    for (int depth : {10, 12, 14}) {
+      McOptions o;
+      o.n = 2;
+      o.make = make_mr_fd_quorum(2);
+      o.proposals = {0, 1};
+      o.fd = sigma_fd;
+      o.max_depth = depth;
+      o.max_states = 8'000'000;
+      const McResult r = model_check_consensus(o);
+      mc.add_row({"MR+Sigma", "intersecting", std::to_string(depth),
+                  std::to_string(r.states_explored),
+                  std::to_string(r.states_deduped),
+                  r.violation_found ? "VIOLATION (unexpected)"
+                                    : (r.exhausted ? "safe (exhaustive)"
+                                                   : "safe (budget)")});
+    }
+    print_section(
+        "E16: bounded model checking — the §6.3 violation found by "
+        "exhaustive search",
+        mc);
+  }
+}
+
+void BM_ProcessSetIntersect(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<ProcessSet> sets;
+  for (int i = 0; i < 256; ++i) {
+    sets.push_back(rng.pick_subset(ProcessSet::full(64), 8));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sets[i % 256].intersects(sets[(i + 1) % 256]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ProcessSetIntersect);
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    ByteWriter w;
+    for (std::uint64_t v = 1; v < (1u << 21); v <<= 3) w.uvarint(v);
+    const Bytes buf = w.take();
+    ByteReader r(buf);
+    while (!r.done()) benchmark::DoNotOptimize(r.uvarint());
+  }
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+/// A do-nothing automaton: measures the harness overhead floor.
+class NullAutomaton final : public Automaton {
+ public:
+  void step(const Incoming*, const FdValue&, std::vector<Outgoing>&) override {}
+};
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  const Pid n = static_cast<Pid>(state.range(0));
+  std::uint64_t seed = 1;
+  const AutomatonFactory factory = [](Pid) {
+    return std::make_unique<NullAutomaton>();
+  };
+  for (auto _ : state) {
+    const FailurePattern fp(n);
+    ScriptedOracle oracle([](Pid, Time) { return FdValue{}; });
+    SchedulerOptions opts;
+    opts.seed = seed++;
+    opts.max_steps = 10'000;
+    benchmark::DoNotOptimize(simulate(fp, oracle, factory, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SchedulerThroughput)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Replay(benchmark::State& state) {
+  const Pid n = 4;
+  const FailurePattern fp(n);
+  auto oracle = omega_only(fp, 0, 2);
+  const ConsensusFactory make = make_mr_majority(n);
+  const AutomatonFactory generic = [&make](Pid p) {
+    return make(p, p % 2);
+  };
+  SchedulerOptions opts;
+  opts.seed = 3;
+  opts.max_steps = 5'000;
+  const SimResult sim = simulate(fp, oracle.top(), generic, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replay(sim.run, n, generic));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sim.run.steps.size()));
+}
+BENCHMARK(BM_Replay);
+
+}  // namespace
+}  // namespace nucon::bench
+
+NUCON_BENCH_MAIN(nucon::bench::experiments)

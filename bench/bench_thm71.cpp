@@ -1,0 +1,152 @@
+// Experiment E7/E8 (paper Theorem 7.1): (Omega, Sigma^nu) == (Omega, Sigma)
+// in E_t iff t < n/2.
+//
+// E7 (IF): with t < n/2, Sigma runs "from scratch" — reports the emulated
+// quorum cadence (steps per round) and the mechanical Sigma verdict.
+// E8 (ONLY-IF): with t >= n/2, the partition construction defeats every
+// candidate transformation — reports, per candidate, the defeat mode and
+// the disjoint quorums of the merged run R'.
+#include "bench_util.hpp"
+#include "core/from_scratch.hpp"
+#include "core/partition_argument.hpp"
+#include "core/sigma_from_majority.hpp"
+#include "fd/history.hpp"
+#include "fd/scripted.hpp"
+
+namespace nucon::bench {
+namespace {
+
+void experiments() {
+  {
+    TextTable t({"n", "t", "faults", "rounds", "steps/round", "msgs",
+                 "sigma_ok"});
+    for (Pid n : {3, 5, 7, 9}) {
+      const Pid bound = static_cast<Pid>((n - 1) / 2);
+      for (Pid faults = 0; faults <= bound; ++faults) {
+        FailurePattern fp = spread_crashes(n, faults, 50, 3);
+        ScriptedOracle no_fd([](Pid, Time) { return FdValue{}; });
+        RecordedHistory emulated;
+        SchedulerOptions opts;
+        opts.seed = 5;
+        opts.max_steps = 6000;
+        opts = with_emulation_recording(std::move(opts), emulated);
+        const SimResult sim =
+            simulate(fp, no_fd, make_sigma_from_majority(n, bound), opts);
+
+        Accumulator rounds;
+        for (Pid p : fp.correct()) {
+          rounds.add(static_cast<const SigmaFromMajority*>(
+                         sim.automata[static_cast<std::size_t>(p)].get())
+                         ->round());
+        }
+        const double steps_per_round =
+            rounds.mean() > 0
+                ? static_cast<double>(sim.run.steps.size()) /
+                      (rounds.mean() * static_cast<double>(fp.correct().size()))
+                : 0.0;
+        t.add_row({std::to_string(n), std::to_string(bound),
+                   std::to_string(faults), TextTable::fmt(rounds.mean(), 0),
+                   TextTable::fmt(steps_per_round, 2),
+                   std::to_string(sim.messages_sent),
+                   check_sigma(emulated, fp).ok ? "yes" : "NO"});
+      }
+    }
+    print_section(
+        "E7: Sigma from scratch under a correct majority (Thm 7.1 IF)", t);
+  }
+
+  {
+    // The constructive upshot of the IF direction: consensus with NO
+    // oracle at all — Omega by adaptive-timeout election, Sigma from
+    // majorities, MR on top, in one automaton.
+    TextTable t({"n", "t", "faults", "decided", "round", "steps", "msgs",
+                 "uniform_ok"});
+    for (Pid n : {3, 5, 7}) {
+      const Pid bound = static_cast<Pid>((n - 1) / 2);
+      for (Pid faults : {static_cast<Pid>(0), bound}) {
+        ScriptedOracle no_fd([](Pid, Time) { return FdValue{}; });
+        const FailurePattern fp = spread_crashes(n, faults, 120, 5);
+        SchedulerOptions opts;
+        opts.seed = 7;
+        opts.max_steps = 300'000;
+        const ConsensusRunStats stats =
+            run_consensus(fp, no_fd, make_from_scratch(n, bound),
+                          mixed_proposals(n), opts);
+        t.add_row({std::to_string(n), std::to_string(bound),
+                   std::to_string(faults),
+                   stats.all_correct_decided ? "yes" : "NO",
+                   std::to_string(stats.decide_round),
+                   std::to_string(stats.steps),
+                   std::to_string(stats.messages_sent),
+                   stats.verdict.solves_uniform() ? "yes" : "NO"});
+      }
+    }
+    print_section(
+        "E7b: consensus with no oracle at all (Omega election + Sigma from "
+        "scratch + MR)",
+        t);
+  }
+
+  {
+    TextTable t({"candidate", "n", "outcome", "tau", "quorum_A", "quorum_B",
+                 "merged_run_ok"});
+    struct Candidate {
+      const char* name;
+      AutomatonFactory factory;
+    };
+    for (Pid n : {4, 6, 8}) {
+      const Candidate candidates[] = {
+          {"identity", make_identity_candidate()},
+          {"gossip-union", make_gossip_union_candidate(n)},
+          {"wait-n-t", make_wait_for_n_minus_t_candidate(n)},
+      };
+      for (const Candidate& c : candidates) {
+        const auto r = run_partition_argument(n, c.factory, 6000, 7);
+        const char* outcome =
+            r.outcome == PartitionOutcome::kIntersectionViolated
+                ? "intersection violated"
+                : (r.outcome == PartitionOutcome::kCompletenessFailed
+                       ? "completeness failed"
+                       : "SURVIVED");
+        t.add_row({c.name, std::to_string(n), outcome, std::to_string(r.tau),
+                   r.quorum_a.to_string(), r.quorum_b.to_string(),
+                   r.merged_run_valid ? "yes" : "-"});
+      }
+    }
+    print_section(
+        "E8: partition argument defeats every candidate when t >= n/2 "
+        "(Thm 7.1 ONLY-IF)",
+        t);
+  }
+}
+
+void BM_SigmaFromMajorityRound(benchmark::State& state) {
+  const Pid n = static_cast<Pid>(state.range(0));
+  const Pid t = static_cast<Pid>((n - 1) / 2);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const FailurePattern fp(n);
+    ScriptedOracle no_fd([](Pid, Time) { return FdValue{}; });
+    SchedulerOptions opts;
+    opts.seed = seed++;
+    opts.max_steps = 2000;
+    benchmark::DoNotOptimize(
+        simulate(fp, no_fd, make_sigma_from_majority(n, t), opts));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SigmaFromMajorityRound)->Arg(3)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionArgument(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_partition_argument(6, make_identity_candidate(), 4000, seed++));
+  }
+}
+BENCHMARK(BM_PartitionArgument)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nucon::bench
+
+NUCON_BENCH_MAIN(nucon::bench::experiments)

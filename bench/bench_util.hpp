@@ -1,0 +1,129 @@
+// Shared scaffolding for the experiment binaries.
+//
+// Every bench binary prints its experiment tables (the reproduction of the
+// paper's results; see DESIGN.md §3 and EXPERIMENTS.md) before handing
+// control to google-benchmark for the microbenchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "algo/harness.hpp"
+#include "fd/classic.hpp"
+#include "fd/composed.hpp"
+#include "fd/omega.hpp"
+#include "fd/sigma.hpp"
+#include "fd/sigma_nu.hpp"
+#include "util/stats.hpp"
+
+namespace nucon::bench {
+
+/// Owns a composed oracle stack for one run.
+struct OracleStack {
+  std::unique_ptr<Oracle> first;
+  std::unique_ptr<Oracle> second;
+  std::unique_ptr<Oracle> composed;
+
+  Oracle& top() { return composed ? *composed : *first; }
+};
+
+inline OracleStack omega_sigma_nu_plus(
+    const FailurePattern& fp, Time stabilize, std::uint64_t seed,
+    FaultyQuorumBehavior behavior = FaultyQuorumBehavior::kAdversarialDisjoint) {
+  OracleStack s;
+  OmegaOptions oo;
+  oo.stabilize_at = stabilize;
+  oo.seed = seed;
+  s.first = std::make_unique<OmegaOracle>(fp, oo);
+  SigmaNuPlusOptions so;
+  so.stabilize_at = stabilize;
+  so.seed = seed + 0x9e37;
+  so.faulty = behavior;
+  s.second = std::make_unique<SigmaNuPlusOracle>(fp, so);
+  s.composed = std::make_unique<ComposedOracle>(*s.first, *s.second);
+  return s;
+}
+
+inline OracleStack omega_sigma(const FailurePattern& fp, Time stabilize,
+                               std::uint64_t seed) {
+  OracleStack s;
+  OmegaOptions oo;
+  oo.stabilize_at = stabilize;
+  oo.seed = seed;
+  s.first = std::make_unique<OmegaOracle>(fp, oo);
+  SigmaOptions so;
+  so.stabilize_at = stabilize;
+  so.seed = seed + 0x9e37;
+  s.second = std::make_unique<SigmaOracle>(fp, so);
+  s.composed = std::make_unique<ComposedOracle>(*s.first, *s.second);
+  return s;
+}
+
+inline OracleStack omega_sigma_nu(const FailurePattern& fp, Time stabilize,
+                                  std::uint64_t seed) {
+  OracleStack s;
+  OmegaOptions oo;
+  oo.stabilize_at = stabilize;
+  oo.seed = seed;
+  s.first = std::make_unique<OmegaOracle>(fp, oo);
+  SigmaNuOptions so;
+  so.stabilize_at = stabilize;
+  so.seed = seed + 0x9e37;
+  s.second = std::make_unique<SigmaNuOracle>(fp, so);
+  s.composed = std::make_unique<ComposedOracle>(*s.first, *s.second);
+  return s;
+}
+
+inline OracleStack omega_only(const FailurePattern& fp, Time stabilize,
+                              std::uint64_t seed) {
+  OracleStack s;
+  OmegaOptions oo;
+  oo.stabilize_at = stabilize;
+  oo.seed = seed;
+  s.first = std::make_unique<OmegaOracle>(fp, oo);
+  return s;
+}
+
+inline OracleStack evt_strong(const FailurePattern& fp, Time stabilize,
+                              std::uint64_t seed) {
+  OracleStack s;
+  SuspectsOptions so;
+  so.stabilize_at = stabilize;
+  so.seed = seed;
+  s.first = std::make_unique<EvtStrongOracle>(fp, so);
+  return s;
+}
+
+/// A failure pattern with `faults` crashes spread over [20, latest].
+inline FailurePattern spread_crashes(Pid n, Pid faults, Time latest,
+                                     std::uint64_t seed) {
+  Rng rng(seed * 2654435761ULL + 17);
+  return Environment{n, static_cast<Pid>(n - 1)}.sample(rng, faults, latest);
+}
+
+inline std::vector<Value> mixed_proposals(Pid n) {
+  std::vector<Value> out(static_cast<std::size_t>(n));
+  for (Pid p = 0; p < n; ++p) out[static_cast<std::size_t>(p)] = p % 2;
+  return out;
+}
+
+inline void print_section(const char* title, const TextTable& table) {
+  std::printf("\n== %s ==\n%s", title, table.render().c_str());
+}
+
+}  // namespace nucon::bench
+
+/// Each bench binary defines `run_experiments()` and uses this main.
+#define NUCON_BENCH_MAIN(run_experiments)                       \
+  int main(int argc, char** argv) {                             \
+    run_experiments();                                          \
+    benchmark::Initialize(&argc, argv);                         \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {   \
+      return 1;                                                 \
+    }                                                           \
+    benchmark::RunSpecifiedBenchmarks();                        \
+    benchmark::Shutdown();                                      \
+    return 0;                                                   \
+  }

@@ -1,0 +1,100 @@
+// Exhaustively exploring the §6.3 counterexample at n = 2.
+//
+// Random schedules *sample* the naive algorithm's agreement violation;
+// the bounded model checker *enumerates* every schedule of a fixed
+// detector history and proves the dichotomy within the bound:
+//
+//   naive MR over the partition Sigma^nu history  -> violation FOUND,
+//                                                    with a minimal-ish
+//                                                    witness schedule;
+//   MR over an intersecting Sigma history         -> NO violation in the
+//                                                    entire bounded space;
+//   A_nuc over the partition history              -> no violation found
+//                                                    (broad search).
+//
+// Build & run:  ./build/examples/model_check_demo
+#include <cstdio>
+
+#include "algo/mr_consensus.hpp"
+#include "check/model_checker.hpp"
+#include "core/anuc.hpp"
+
+using namespace nucon;
+
+namespace {
+
+FdValue partition_fd(Pid p, int) {
+  FdValue v = FdValue::of_quorum(ProcessSet::single(p));
+  v.set_leader(p);
+  return v;
+}
+
+FdValue sigma_fd(Pid p, int) {
+  FdValue v = FdValue::of_quorum(ProcessSet{0, 1});
+  v.set_leader(p);
+  return v;
+}
+
+void report(const char* name, const McResult& r) {
+  std::printf("%s\n  states=%zu deduped=%zu %s\n", name, r.states_explored,
+              r.states_deduped,
+              r.violation_found
+                  ? ("VIOLATION: " + r.violation + " (witness " +
+                     std::to_string(r.witness.size()) + " steps)")
+                        .c_str()
+                  : (r.exhausted ? "no violation — bounded space EXHAUSTED"
+                                 : "no violation found (budget hit)"));
+  if (r.violation_found) {
+    std::printf("  witness schedule:");
+    for (const McStep& s : r.witness) {
+      std::printf(" p%d%s", s.p, s.delivery < 0 ? "(λ)" : "");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  {
+    McOptions o;
+    o.n = 2;
+    o.make = make_mr_fd_quorum(2);
+    o.proposals = {0, 1};
+    o.fd = partition_fd;
+    o.max_depth = 16;
+    o.max_states = 2'000'000;
+    report("[naive MR-quorum over the partition Sigma^nu history]",
+           model_check_consensus(o));
+  }
+  {
+    McOptions o;
+    o.n = 2;
+    o.make = make_mr_fd_quorum(2);
+    o.proposals = {0, 1};
+    o.fd = sigma_fd;
+    o.max_depth = 14;
+    o.max_states = 8'000'000;
+    report("[MR-quorum over an intersecting Sigma history]",
+           model_check_consensus(o));
+  }
+  {
+    McOptions o;
+    o.n = 2;
+    o.make = make_anuc(2);
+    o.proposals = {0, 1};
+    o.fd = partition_fd;
+    o.max_depth = 14;
+    o.max_states = 300'000;
+    report("[A_nuc over the same partition history]",
+           model_check_consensus(o));
+  }
+
+  std::printf(
+      "The partition history is a LEGAL Sigma^nu history whenever the other\n"
+      "process is faulty; the checker shows that quorum intersection — not\n"
+      "luck — is what stands between the naive algorithm and disagreement,\n"
+      "and that A_nuc's distrust machinery closes the gap.\n");
+  return 0;
+}

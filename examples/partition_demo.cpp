@@ -1,0 +1,94 @@
+// Theorem 7.1, both directions, executed.
+//
+// IF (t < n/2): Sigma needs no failure detector at all — each process
+// outputs the first n - t processes it hears from each round; any two
+// (n-t)-sets intersect, so (Omega, Sigma^nu) and (Omega, Sigma) are
+// equivalent under a correct majority.
+//
+// ONLY-IF (t >= n/2): split the system into halves A and B and feed any
+// candidate transformation the legal Sigma^nu history where each half
+// trusts itself. Run "B crashed" until completeness forces an A-only
+// quorum at some a in A by time tau; mirror for B; merge the two runs
+// (Lemma 2.2) under "A crashes at tau+1" — a genuine run in which the
+// emulated quorums are disjoint, violating Sigma's intersection. Every
+// candidate dies this way (or never achieves completeness).
+//
+// Build & run:  ./build/examples/partition_demo
+#include <cstdio>
+
+#include "core/partition_argument.hpp"
+#include "core/sigma_from_majority.hpp"
+#include "fd/history.hpp"
+#include "fd/scripted.hpp"
+
+using namespace nucon;
+
+int main() {
+  // ---- IF direction ------------------------------------------------------
+  {
+    const Pid n = 5;
+    const Pid t = 2;  // t < n/2
+    FailurePattern fp(n);
+    fp.set_crash(3, 40);
+    fp.set_crash(4, 70);
+
+    ScriptedOracle no_fd([](Pid, Time) { return FdValue{}; });
+    RecordedHistory emulated;
+    SchedulerOptions opts;
+    opts.seed = 11;
+    opts.max_steps = 5000;
+    opts = with_emulation_recording(std::move(opts), emulated);
+    (void)simulate(fp, no_fd, make_sigma_from_majority(n, t), opts);
+
+    const auto verdict = check_sigma(emulated, fp);
+    std::printf(
+        "[IF, t=%d < n/2=%d/2] Sigma implemented from scratch, %zu samples "
+        "recorded\n  Sigma membership: %s%s\n\n",
+        t, n, emulated.samples().size(), verdict.ok ? "PASS" : "FAIL",
+        verdict.detail.c_str());
+  }
+
+  // ---- ONLY-IF direction -------------------------------------------------
+  const Pid n = 6;
+  struct Candidate {
+    const char* name;
+    AutomatonFactory factory;
+  };
+  const Candidate candidates[] = {
+      {"identity (output the Sigma^nu reading)", make_identity_candidate()},
+      {"gossip-union (output everything heard)",
+       make_gossip_union_candidate(n)},
+      {"wait-for-(n-t) round tags", make_wait_for_n_minus_t_candidate(n)},
+  };
+
+  std::printf("[ONLY-IF, t >= n/2] defeating candidate transformations "
+              "(n=%d):\n\n", n);
+  for (const Candidate& c : candidates) {
+    const PartitionDemoResult r =
+        run_partition_argument(n, c.factory, 6000, 13);
+    std::printf("  candidate: %s\n", c.name);
+    std::printf("    partition: A=%s  B=%s\n", r.side_a.to_string().c_str(),
+                r.side_b.to_string().c_str());
+    switch (r.outcome) {
+      case PartitionOutcome::kIntersectionViolated:
+        std::printf(
+            "    DEFEATED: by tau=%lld process %d output %s; in the merged\n"
+            "    run R' (Lemma 2.2 replay %s) process %d outputs %s —\n"
+            "    disjoint quorums, so the emulated detector is not Sigma.\n",
+            (long long)r.tau, r.witness_a, r.quorum_a.to_string().c_str(),
+            r.merged_run_valid ? "verified" : "NOT verified", r.witness_b,
+            r.quorum_b.to_string().c_str());
+        break;
+      case PartitionOutcome::kCompletenessFailed:
+        std::printf("    DEFEATED: %s\n", r.detail.c_str());
+        break;
+      case PartitionOutcome::kSurvived:
+        std::printf("    survived the step budget (%s) — increase it;\n"
+                    "    Theorem 7.1 says no candidate survives forever.\n",
+                    r.detail.c_str());
+        break;
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,140 @@
+// A guided tour of the weakest-failure-detector proof, executed.
+//
+// Necessity (Fig. 2 / Theorem 5.4): take ANY detector D that solves
+// nonuniform consensus via some algorithm A — here D = (Omega, Sigma^nu+)
+// and A = A_nuc — and run the transformation T_{D -> Sigma^nu}: processes
+// gossip DAGs of D-samples, simulate schedules of A out of the DAG against
+// the all-0 and all-1 initial configurations, and output the participants
+// of deciding schedules. The emulated history is checked to be in
+// Sigma^nu.
+//
+// Sufficiency (Fig. 3 + Figs. 4-5 / Theorems 6.7, 6.27): boost Sigma^nu to
+// Sigma^nu+ and solve consensus with it (see quickstart.cpp for the
+// stacked construction).
+//
+// Bonus (Theorem 5.8): the SAME transformation, applied to a detector/
+// algorithm pair solving UNIFORM consensus — (Omega, Sigma) with the MR
+// quorum algorithm — emits a history in full Sigma.
+//
+// Build & run:  ./build/examples/weakest_fd_tour
+#include <cstdio>
+
+#include "algo/mr_consensus.hpp"
+#include "core/anuc.hpp"
+#include "core/extract_sigma_nu.hpp"
+#include "core/sigma_nu_to_plus.hpp"
+#include "fd/composed.hpp"
+#include "fd/history.hpp"
+#include "fd/omega.hpp"
+#include "fd/sigma.hpp"
+#include "fd/sigma_nu.hpp"
+
+using namespace nucon;
+
+namespace {
+
+void show_emulated(const char* what, const RecordedHistory& h,
+                   const FailurePattern& fp, const CheckResult& verdict) {
+  std::printf("%s\n", what);
+  for (Pid p = 0; p < fp.n(); ++p) {
+    const auto samples = h.of(p);
+    if (samples.empty()) continue;
+    std::printf("  process %d (%s): %zu outputs, last quorum %s\n", p,
+                fp.is_correct(p) ? "correct" : "faulty ", samples.size(),
+                samples.back().value.quorum().to_string().c_str());
+  }
+  std::printf("  class membership: %s%s%s\n\n", verdict.ok ? "PASS" : "FAIL",
+              verdict.ok ? "" : " — ", verdict.detail.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const Pid n = 3;
+  FailurePattern fp(n);
+  fp.set_crash(2, 60);  // one faulty process
+
+  // ---- Necessity: extract Sigma^nu from (Omega, Sigma^nu+) + A_nuc ------
+  {
+    OmegaOptions oo;
+    oo.stabilize_at = 80;
+    OmegaOracle omega(fp, oo);
+    SigmaNuPlusOptions so;
+    so.stabilize_at = 80;
+    SigmaNuPlusOracle sigma(fp, so);
+    ComposedOracle d(omega, sigma);
+
+    ExtractOptions eo;
+    eo.algorithm = make_anuc(n);  // the black-box A that uses D
+    eo.n = n;
+    eo.check_every = 4;
+    eo.max_chain = 800;
+
+    RecordedHistory emulated;
+    SchedulerOptions opts;
+    opts.seed = 3;
+    opts.max_steps = 2500;
+    opts = with_emulation_recording(std::move(opts), emulated);
+    (void)simulate(fp, d, make_extract_sigma_nu(eo), opts);
+
+    show_emulated(
+        "[necessity] T_{D->Sigma^nu} with D=(Omega,Sigma^nu+), A=A_nuc:",
+        emulated, fp, check_sigma_nu(emulated, fp));
+  }
+
+  // ---- Theorem 5.8: uniform pair emits full Sigma ------------------------
+  {
+    OmegaOptions oo;
+    oo.stabilize_at = 80;
+    OmegaOracle omega(fp, oo);
+    SigmaOptions so;
+    so.stabilize_at = 80;
+    SigmaOracle sigma(fp, so);
+    ComposedOracle d(omega, sigma);
+
+    ExtractOptions eo;
+    eo.algorithm = make_mr_fd_quorum(n);  // solves UNIFORM consensus
+    eo.n = n;
+    eo.check_every = 4;
+    eo.max_chain = 800;
+
+    RecordedHistory emulated;
+    SchedulerOptions opts;
+    opts.seed = 5;
+    opts.max_steps = 2500;
+    opts = with_emulation_recording(std::move(opts), emulated);
+    (void)simulate(fp, d, make_extract_sigma_nu(eo), opts);
+
+    show_emulated(
+        "[Thm 5.8] same transformation, D=(Omega,Sigma), A=MR-Sigma "
+        "(uniform):",
+        emulated, fp, check_sigma(emulated, fp));
+  }
+
+  // ---- Sufficiency: boost Sigma^nu to Sigma^nu+ (Fig. 3) ----------------
+  {
+    SigmaNuOptions so;
+    so.stabilize_at = 80;
+    so.faulty = FaultyQuorumBehavior::kAdversarialDisjoint;
+    SigmaNuOracle sigma_nu(fp, so);
+
+    RecordedHistory emulated;
+    SchedulerOptions opts;
+    opts.seed = 7;
+    opts.max_steps = 3000;
+    opts = with_emulation_recording(std::move(opts), emulated);
+    (void)simulate(fp, sigma_nu, make_sigma_nu_to_plus(n), opts);
+
+    show_emulated(
+        "[sufficiency] T_{Sigma^nu->Sigma^nu+} over an adversarial "
+        "Sigma^nu:",
+        emulated, fp, check_sigma_nu_plus(emulated, fp));
+  }
+
+  std::printf(
+      "Together: any D solving nonuniform consensus yields Sigma^nu (and\n"
+      "Omega, by Chandra-Hadzilacos-Toueg), and (Omega, Sigma^nu) suffices\n"
+      "— so (Omega, Sigma^nu) is THE weakest failure detector for\n"
+      "nonuniform consensus, in every environment (Theorem 6.29).\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "algo/ben_or.hpp"
+
+#include <cassert>
+
+namespace nucon {
+namespace {
+
+constexpr std::uint8_t kTagReport = 1;
+constexpr std::uint8_t kTagProposal = 2;
+
+Bytes encode(std::uint8_t tag, int round, Value v) {
+  ByteWriter w;
+  w.u8(tag);
+  w.uvarint(static_cast<std::uint64_t>(round));
+  w.svarint(v);
+  return w.take();
+}
+
+}  // namespace
+
+BenOr::BenOr(Pid self, Value proposal, Pid n, Pid t, std::uint64_t coin_seed)
+    : self_(self),
+      n_(n),
+      t_(t),
+      x_(proposal),
+      coin_(coin_seed ^ (static_cast<std::uint64_t>(self) * 0x9e3779b97f4a7c15ULL)) {
+  assert(n_ > 2 * t_);
+  assert(proposal == 0 || proposal == 1);
+}
+
+void BenOr::step(const Incoming* in, const FdValue& d,
+                 std::vector<Outgoing>& out) {
+  (void)d;  // oracle-free
+  if (in != nullptr) on_message(in->from, *in->payload);
+  if (round_ == 0) start_round(out);
+  advance(out);
+}
+
+void BenOr::start_round(std::vector<Outgoing>& out) {
+  inbox_.erase(inbox_.begin(), inbox_.lower_bound(round_));
+  ++round_;
+  phase_ = Phase::kAwaitReports;
+  broadcast(n_, encode(kTagReport, round_, x_), out);
+}
+
+void BenOr::on_message(Pid from, const Bytes& payload) {
+  ByteReader r(payload);
+  const auto tag = r.u8();
+  const auto round = r.uvarint();
+  const auto v = r.svarint();
+  if (!tag || !round || !v || !r.done()) return;
+  if (*v != 0 && *v != 1 && *v != kQuestion) return;
+  RoundMsgs& msgs = inbox_[static_cast<int>(*round)];
+  if (*tag == kTagReport && *v != kQuestion) {
+    msgs.report[from] = *v;
+  } else if (*tag == kTagProposal) {
+    msgs.proposal[from] = *v;
+  }
+}
+
+void BenOr::advance(std::vector<Outgoing>& out) {
+  while (true) {
+    RoundMsgs& msgs = inbox_[round_];
+
+    if (phase_ == Phase::kAwaitReports) {
+      int received = 0;
+      int count[2] = {0, 0};
+      for (Pid q = 0; q < n_; ++q) {
+        if (msgs.report[q]) {
+          ++received;
+          ++count[*msgs.report[q]];
+        }
+      }
+      if (received < n_ - t_) return;
+      Value proposal = kQuestion;
+      for (Value v : {Value{0}, Value{1}}) {
+        if (2 * count[v] > n_) proposal = v;  // strict majority of all n
+      }
+      broadcast(n_, encode(kTagProposal, round_, proposal), out);
+      phase_ = Phase::kAwaitProposals;
+      continue;
+    }
+
+    // Phase::kAwaitProposals.
+    int received = 0;
+    int count[2] = {0, 0};
+    for (Pid q = 0; q < n_; ++q) {
+      if (msgs.proposal[q]) {
+        ++received;
+        if (*msgs.proposal[q] != kQuestion) ++count[*msgs.proposal[q]];
+      }
+    }
+    if (received < n_ - t_) return;
+
+    // At most one of count[0], count[1] is nonzero (two non-"?" proposals
+    // would each need a strict majority of reports).
+    const Value v = count[1] > 0 ? 1 : 0;
+    if (count[v] >= t_ + 1) {
+      if (!decided_) decided_ = v;
+      x_ = v;
+    } else if (count[v] >= 1) {
+      x_ = v;
+    } else {
+      x_ = static_cast<Value>(coin_.below(2));
+      ++coin_flips_;
+    }
+    start_round(out);
+  }
+}
+
+std::optional<Bytes> BenOr::snapshot() const {
+  ByteWriter w;
+  w.svarint(x_);
+  w.uvarint(static_cast<std::uint64_t>(round_));
+  w.u8(static_cast<std::uint8_t>(phase_));
+  w.u8(decided_.has_value());
+  if (decided_) w.svarint(*decided_);
+  return w.take();
+}
+
+ConsensusFactory make_ben_or(Pid n, Pid t, std::uint64_t seed) {
+  return [n, t, seed](Pid p, Value proposal) {
+    return std::make_unique<BenOr>(p, proposal, n, t, seed);
+  };
+}
+
+}  // namespace nucon

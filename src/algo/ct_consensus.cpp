@@ -1,0 +1,173 @@
+#include "algo/ct_consensus.hpp"
+
+#include <cassert>
+
+namespace nucon {
+namespace {
+
+constexpr std::uint8_t kTagEstimate = 1;
+constexpr std::uint8_t kTagSelect = 2;
+constexpr std::uint8_t kTagAck = 3;
+constexpr std::uint8_t kTagNack = 4;
+constexpr std::uint8_t kTagDecide = 5;
+
+}  // namespace
+
+CtConsensus::CtConsensus(Pid self, Value proposal, Pid n)
+    : self_(self), n_(n), x_(proposal) {
+  assert(n_ >= 2 && self_ >= 0 && self_ < n_);
+}
+
+void CtConsensus::step(const Incoming* in, const FdValue& d,
+                       std::vector<Outgoing>& out) {
+  if (in != nullptr) on_message(in->from, *in->payload, out);
+  if (round_ == 0) start_round(out);
+  advance(d, out);
+}
+
+void CtConsensus::start_round(std::vector<Outgoing>& out) {
+  inbox_.erase(inbox_.begin(), inbox_.lower_bound(round_));
+  ++round_;
+  ByteWriter w;
+  w.u8(kTagEstimate);
+  w.uvarint(static_cast<std::uint64_t>(round_));
+  w.svarint(x_);
+  w.uvarint(static_cast<std::uint64_t>(ts_));
+  out.push_back({coordinator_of(round_), w.take()});
+  phase_ = coordinator_of(round_) == self_ ? Phase::kAwaitEstimates
+                                           : Phase::kAwaitSelection;
+}
+
+void CtConsensus::flood_decide(Value v, std::vector<Outgoing>& out) {
+  if (!decided_) {
+    decided_ = v;
+    decided_round_ = round_;
+  }
+  if (flooded_decide_) return;
+  flooded_decide_ = true;
+  ByteWriter w;
+  w.u8(kTagDecide);
+  w.svarint(v);
+  broadcast(n_, w.take(), out);
+}
+
+void CtConsensus::on_message(Pid from, const Bytes& payload,
+                             std::vector<Outgoing>& out) {
+  ByteReader r(payload);
+  const auto tag = r.u8();
+  if (!tag) return;
+
+  if (*tag == kTagDecide) {
+    const auto v = r.svarint();
+    if (v && r.done()) flood_decide(*v, out);
+    return;
+  }
+
+  const auto round = r.uvarint();
+  if (!round) return;
+  const int rnd = static_cast<int>(*round);
+  if (rnd < round_) return;  // this round is over for us
+
+  RoundInbox& inbox = inbox_[rnd];
+  switch (*tag) {
+    case kTagEstimate: {
+      const auto v = r.svarint();
+      const auto ts = r.uvarint();
+      if (v && ts && r.done()) {
+        inbox.estimates[from] = {*v, static_cast<int>(*ts)};
+      }
+      break;
+    }
+    case kTagSelect:
+      if (const auto v = r.svarint();
+          v && r.done() && from == coordinator_of(rnd)) {
+        inbox.selection = *v;
+      }
+      break;
+    case kTagAck:
+    case kTagNack:
+      if (r.done()) {
+        ++inbox.replies;
+        if (*tag == kTagAck) ++inbox.acks;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void CtConsensus::advance(const FdValue& d, std::vector<Outgoing>& out) {
+  const int majority = n_ / 2 + 1;
+
+  // Several phases may already be satisfied by buffered messages; bound
+  // the number of round transitions per step so a detector value that
+  // suspects every coordinator cannot spin forever within one atomic step.
+  for (int burst = 0; burst < 8; ++burst) {
+    RoundInbox& inbox = inbox_[round_];
+
+    if (phase_ == Phase::kAwaitEstimates) {
+      if (static_cast<int>(inbox.estimates.size()) < majority) return;
+      // Select the estimate carrying the highest timestamp.
+      std::pair<Value, int> best{0, -1};
+      for (const auto& [p, est] : inbox.estimates) {
+        if (est.second > best.second) best = est;
+      }
+      select_value_ = best.first;
+      ByteWriter w;
+      w.u8(kTagSelect);
+      w.uvarint(static_cast<std::uint64_t>(round_));
+      w.svarint(best.first);
+      broadcast(n_, w.take(), out);
+      phase_ = Phase::kAwaitSelection;
+      continue;
+    }
+
+    if (phase_ == Phase::kAwaitSelection) {
+      const Pid coord = coordinator_of(round_);
+      ByteWriter w;
+      if (inbox.selection) {
+        x_ = *inbox.selection;
+        ts_ = round_;
+        w.u8(kTagAck);
+        w.uvarint(static_cast<std::uint64_t>(round_));
+        out.push_back({coord, w.take()});
+      } else if (d.has_suspects() && d.suspects().contains(coord)) {
+        w.u8(kTagNack);
+        w.uvarint(static_cast<std::uint64_t>(round_));
+        out.push_back({coord, w.take()});
+      } else {
+        return;  // keep waiting for the selection or for suspicion
+      }
+      if (coord == self_) {
+        phase_ = Phase::kAwaitReplies;
+        continue;
+      }
+      start_round(out);
+      continue;
+    }
+
+    // Phase::kAwaitReplies (coordinator only).
+    if (inbox.replies < majority) return;
+    if (inbox.acks >= majority) flood_decide(select_value_, out);
+    start_round(out);
+  }
+}
+
+std::optional<Bytes> CtConsensus::snapshot() const {
+  ByteWriter w;
+  w.svarint(x_);
+  w.uvarint(static_cast<std::uint64_t>(ts_));
+  w.uvarint(static_cast<std::uint64_t>(round_));
+  w.u8(static_cast<std::uint8_t>(phase_));
+  w.u8(decided_.has_value());
+  if (decided_) w.svarint(*decided_);
+  return w.take();
+}
+
+ConsensusFactory make_ct(Pid n) {
+  return [n](Pid p, Value proposal) {
+    return std::make_unique<CtConsensus>(p, proposal, n);
+  };
+}
+
+}  // namespace nucon

@@ -1,0 +1,62 @@
+// The paper's §6.3 counterexample, as an executable scenario.
+//
+// Replacing majorities by Sigma^nu quorums in the Mostéfaoui-Raynal
+// algorithm does NOT solve nonuniform consensus: a faulty process whose
+// (legal!) Sigma^nu quorum misses the quorum a correct process decided
+// with can retain a stale estimate and, while it is briefly everyone's
+// Omega output, contaminate correct processes that have not yet decided —
+// two correct processes then decide differently. A_nuc (core/anuc.hpp)
+// adds the quorum-history / distrust / quorum-awareness machinery exactly
+// to close this hole.
+//
+// `find_contamination` searches seeds of the adversarial setup (faulty
+// processes with disjoint quorums, noisy warmup Omega) for a run of the
+// naive algorithm in which two correct processes decide differently. The
+// companion test asserts such a run exists for the naive algorithm and
+// that A_nuc never produces one under the same adversarial family.
+#pragma once
+
+#include <cstdint>
+
+#include "algo/harness.hpp"
+
+namespace nucon {
+
+struct ContaminationSetup {
+  Pid n = 4;
+  /// Pid of the (single) faulty process and the time it crashes.
+  Pid faulty = 3;
+  Time crash_at = 600;
+  /// When Omega and the leader side stabilize (after the crash).
+  Time omega_stabilize_at = 900;
+  std::int64_t max_steps = 60'000;
+};
+
+struct ContaminationResult {
+  bool found = false;
+  std::uint64_t seed = 0;   // the violating seed, when found
+  int runs_tried = 0;
+  int uniform_violations = 0;     // faulty-vs-correct disagreements seen
+  int nonuniform_violations = 0;  // correct-vs-correct disagreements seen
+  ConsensusRunStats stats;        // stats of the violating run
+};
+
+/// Runs the naive Sigma^nu-quorum Mostéfaoui-Raynal algorithm under the
+/// adversarial oracle family for up to `max_seeds` seeds, stopping at the
+/// first violation of *nonuniform* agreement.
+[[nodiscard]] ContaminationResult find_contamination(
+    const ContaminationSetup& setup, int max_seeds,
+    std::uint64_t base_seed = 1);
+
+/// Same adversarial family, but running an arbitrary consensus factory
+/// (e.g. A_nuc) for `seeds` seeds; returns the number of nonuniform
+/// agreement violations observed (expected: 0 for a correct algorithm).
+/// When `use_sigma_nu_plus` is true the quorum component is the (equally
+/// adversarial) Sigma^nu+ oracle, which is what A_nuc consumes.
+[[nodiscard]] int count_nonuniform_violations(const ContaminationSetup& setup,
+                                              const ConsensusFactory& make,
+                                              int seeds,
+                                              bool use_sigma_nu_plus,
+                                              std::uint64_t base_seed = 1);
+
+}  // namespace nucon

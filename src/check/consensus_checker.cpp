@@ -1,0 +1,65 @@
+#include "check/consensus_checker.hpp"
+
+#include <cassert>
+
+namespace nucon {
+
+ConsensusVerdict check_consensus(
+    const FailurePattern& fp, const std::vector<Value>& proposals,
+    const std::vector<std::optional<Value>>& decisions) {
+  assert(proposals.size() == static_cast<std::size_t>(fp.n()));
+  assert(decisions.size() == static_cast<std::size_t>(fp.n()));
+
+  ConsensusVerdict v;
+  v.termination = true;
+  v.validity = true;
+  v.nonuniform_agreement = true;
+  v.uniform_agreement = true;
+
+  const auto note = [&v](std::string why) {
+    if (v.detail.empty()) v.detail = std::move(why);
+  };
+
+  for (Pid p : fp.correct()) {
+    if (!decisions[static_cast<std::size_t>(p)]) {
+      v.termination = false;
+      note("termination: correct process " + std::to_string(p) +
+           " never decided");
+    }
+  }
+
+  for (Pid p = 0; p < fp.n(); ++p) {
+    const auto& d = decisions[static_cast<std::size_t>(p)];
+    if (!d) continue;
+    bool proposed = false;
+    for (Value x : proposals) proposed = proposed || (x == *d);
+    if (!proposed) {
+      v.validity = false;
+      note("validity: process " + std::to_string(p) + " decided " +
+           std::to_string(*d) + ", which nobody proposed");
+    }
+  }
+
+  for (Pid p = 0; p < fp.n(); ++p) {
+    for (Pid q = static_cast<Pid>(p + 1); q < fp.n(); ++q) {
+      const auto& dp = decisions[static_cast<std::size_t>(p)];
+      const auto& dq = decisions[static_cast<std::size_t>(q)];
+      if (!dp || !dq || *dp == *dq) continue;
+      v.uniform_agreement = false;
+      if (fp.is_correct(p) && fp.is_correct(q)) {
+        v.nonuniform_agreement = false;
+        note("agreement: correct processes " + std::to_string(p) + " and " +
+             std::to_string(q) + " decided " + std::to_string(*dp) + " vs " +
+             std::to_string(*dq));
+      } else {
+        note("uniform agreement: processes " + std::to_string(p) + " and " +
+             std::to_string(q) + " decided " + std::to_string(*dp) + " vs " +
+             std::to_string(*dq));
+      }
+    }
+  }
+
+  return v;
+}
+
+}  // namespace nucon

@@ -1,0 +1,40 @@
+// Consensus correctness verdicts over completed executions (paper §2.8).
+//
+// Given the proposals (initial configuration), the failure pattern, and the
+// final decisions, reports which of the four properties held:
+// termination (every correct process decided), validity (every decision was
+// proposed), nonuniform agreement (no two *correct* deciders differ), and
+// uniform agreement (no two deciders differ at all). Uniform agreement is
+// reported too because the gap between the two agreement flavors is the
+// entire subject of the paper.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/automaton.hpp"
+#include "sim/failure_pattern.hpp"
+
+namespace nucon {
+
+struct ConsensusVerdict {
+  bool termination = false;
+  bool validity = false;
+  bool nonuniform_agreement = false;
+  bool uniform_agreement = false;
+  std::string detail;  // first violation found, if any
+
+  [[nodiscard]] bool solves_nonuniform() const {
+    return termination && validity && nonuniform_agreement;
+  }
+  [[nodiscard]] bool solves_uniform() const {
+    return termination && validity && uniform_agreement;
+  }
+};
+
+[[nodiscard]] ConsensusVerdict check_consensus(
+    const FailurePattern& fp, const std::vector<Value>& proposals,
+    const std::vector<std::optional<Value>>& decisions);
+
+}  // namespace nucon

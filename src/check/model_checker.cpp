@@ -1,0 +1,187 @@
+#include "check/model_checker.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "sim/message.hpp"
+
+namespace nucon {
+namespace {
+
+/// A fully materialized configuration. Automata are not copyable, so the
+/// DFS re-materializes configurations by replaying the current path from
+/// the initial configuration (cost O(depth) per node, which at the
+/// explored scales is cheaper and simpler than state cloning).
+struct MState {
+  std::vector<std::unique_ptr<ConsensusAutomaton>> automata;
+  MessageBuffer buffer;
+  std::vector<std::uint64_t> send_seq;
+  std::vector<int> own_steps;
+};
+
+void apply(const McOptions& opts, MState& state, const McStep& step) {
+  const Pid p = step.p;
+  std::optional<Message> msg;
+  if (step.delivery >= 0) {
+    assert(static_cast<std::size_t>(step.delivery) <
+           state.buffer.pending_for(p));
+    msg = state.buffer.take(p, static_cast<std::size_t>(step.delivery));
+  }
+  ++state.own_steps[static_cast<std::size_t>(p)];
+  const FdValue d = opts.fd(p, state.own_steps[static_cast<std::size_t>(p)]);
+
+  std::vector<Outgoing> sends;
+  if (msg) {
+    const Incoming in{msg->id.sender, &msg->payload};
+    state.automata[static_cast<std::size_t>(p)]->step(&in, d, sends);
+  } else {
+    state.automata[static_cast<std::size_t>(p)]->step(nullptr, d, sends);
+  }
+  for (Outgoing& o : sends) {
+    Message m;
+    m.id = MsgId{p, ++state.send_seq[static_cast<std::size_t>(p)]};
+    m.to = o.to;
+    // sent_at only orders causality checks; the per-process step count is
+    // a valid logical stamp here.
+    m.sent_at = state.own_steps[static_cast<std::size_t>(p)];
+    m.payload = std::move(o.payload);
+    state.buffer.add(std::move(m));
+  }
+}
+
+MState materialize(const McOptions& opts, const std::vector<McStep>& path) {
+  MState state;
+  state.automata.reserve(static_cast<std::size_t>(opts.n));
+  for (Pid p = 0; p < opts.n; ++p) {
+    state.automata.push_back(
+        opts.make(p, opts.proposals[static_cast<std::size_t>(p)]));
+  }
+  state.send_seq.assign(static_cast<std::size_t>(opts.n), 0);
+  state.own_steps.assign(static_cast<std::size_t>(opts.n), 0);
+  for (const McStep& step : path) apply(opts, state, step);
+  return state;
+}
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t hash_bytes(std::uint64_t h, const Bytes& bytes) {
+  h = mix64(h, bytes.size());
+  for (std::uint8_t b : bytes) h = h * 1099511628211ULL + b;
+  return h;
+}
+
+std::uint64_t state_key(const McOptions& opts, const MState& state) {
+  std::uint64_t h = 0x6e75636f6eULL;
+  for (Pid p = 0; p < opts.n; ++p) {
+    const auto snap = state.automata[static_cast<std::size_t>(p)]->snapshot();
+    h = snap ? hash_bytes(h, *snap) : mix64(h, 0xDEAD);
+    h = mix64(h,
+              static_cast<std::uint64_t>(state.own_steps[static_cast<std::size_t>(p)]));
+  }
+  // In-flight messages, order-normalized (delivery choices enumerate every
+  // pending message anyway, so queue order is not behaviorally relevant).
+  struct Wire {
+    Pid to;
+    Pid sender;
+    std::uint64_t seq;
+    const Bytes* payload;
+  };
+  std::vector<Wire> wires;
+  for (Pid q = 0; q < opts.n; ++q) {
+    for (std::size_t i = 0; i < state.buffer.pending_for(q); ++i) {
+      const Message& m = state.buffer.peek(q, i);
+      wires.push_back({q, m.id.sender, m.id.seq, &m.payload});
+    }
+  }
+  std::sort(wires.begin(), wires.end(), [](const Wire& a, const Wire& b) {
+    return std::tie(a.to, a.sender, a.seq) < std::tie(b.to, b.sender, b.seq);
+  });
+  for (const Wire& w : wires) {
+    h = mix64(h, static_cast<std::uint64_t>(w.to));
+    h = mix64(h, static_cast<std::uint64_t>(w.sender));
+    h = mix64(h, w.seq);
+    h = hash_bytes(h, *w.payload);
+  }
+  return h;
+}
+
+std::optional<std::string> agreement_violation(const MState& state) {
+  for (std::size_t p = 0; p < state.automata.size(); ++p) {
+    for (std::size_t q = p + 1; q < state.automata.size(); ++q) {
+      const auto dp = state.automata[p]->decision();
+      const auto dq = state.automata[q]->decision();
+      if (dp && dq && *dp != *dq) {
+        return "processes " + std::to_string(p) + " and " + std::to_string(q) +
+               " decided " + std::to_string(*dp) + " vs " +
+               std::to_string(*dq);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+struct Dfs {
+  explicit Dfs(const McOptions& o) : opts_ptr(&o) {}
+
+  const McOptions* opts_ptr;
+  McResult result;
+  std::unordered_set<std::uint64_t> visited;
+  std::vector<McStep> path;
+
+  bool budget_exceeded() const {
+    return result.states_explored >= opts_ptr->max_states;
+  }
+
+  /// Returns true when a violation was found (stop everything).
+  bool explore() {
+    const McOptions& o = *opts_ptr;
+    const MState state = materialize(o, path);
+    ++result.states_explored;
+
+    if (const auto violation = agreement_violation(state)) {
+      result.violation_found = true;
+      result.violation = *violation;
+      result.witness = path;
+      return true;
+    }
+
+    if (!visited.insert(state_key(o, state)).second) {
+      ++result.states_deduped;
+      return false;
+    }
+    if (path.size() >= static_cast<std::size_t>(o.max_depth)) return false;
+    if (budget_exceeded()) return false;
+
+    for (Pid p = 0; p < o.n; ++p) {
+      const int pending =
+          static_cast<int>(state.buffer.pending_for(p));
+      for (int delivery = -1; delivery < pending; ++delivery) {
+        path.push_back({p, delivery});
+        const bool found = explore();
+        path.pop_back();
+        if (found) return true;
+        if (budget_exceeded()) return false;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+McResult model_check_consensus(const McOptions& opts) {
+  assert(opts.make != nullptr && opts.fd != nullptr);
+  assert(opts.proposals.size() == static_cast<std::size_t>(opts.n));
+
+  Dfs dfs(opts);
+  dfs.explore();
+  dfs.result.exhausted =
+      !dfs.result.violation_found && !dfs.budget_exceeded();
+  return dfs.result;
+}
+
+}  // namespace nucon

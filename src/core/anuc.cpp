@@ -1,0 +1,227 @@
+#include "core/anuc.hpp"
+
+#include <cassert>
+
+namespace nucon {
+namespace {
+
+constexpr std::uint8_t kTagLead = 1;
+constexpr std::uint8_t kTagRep = 2;
+constexpr std::uint8_t kTagProp = 3;
+constexpr std::uint8_t kTagSaw = 4;
+constexpr std::uint8_t kTagAck = 5;
+
+}  // namespace
+
+Anuc::Anuc(Pid self, Value proposal, Pid n, AnucOptions options)
+    : self_(self), n_(n), options_(options), x_(proposal), history_(n) {
+  assert(n_ >= 2 && self_ >= 0 && self_ < n_);
+  assert(proposal != kQuestion);
+}
+
+ProcessSet Anuc::get_quorum(const FdValue& d) {
+  const ProcessSet q = d.quorum();
+  history_.insert(self_, q);  // Fig. 5 line 49
+  return q;
+}
+
+bool Anuc::distrusts(Pid q) {
+  if (!options_.use_distrust) return false;  // ablated: trust everyone
+  ++distrust_calls_;
+  const bool hit = history_.distrusts(self_, q);
+  if (hit) ++distrust_hits_;
+  return hit;
+}
+
+void Anuc::step(const Incoming* in, const FdValue& d,
+                std::vector<Outgoing>& out) {
+  if (in != nullptr) on_message(in->from, *in->payload, out);
+  if (round_ == 0) start_round(out);
+  advance(d, out);
+}
+
+void Anuc::start_round(std::vector<Outgoing>& out) {
+  ++round_;
+  phase_ = Phase::kAwaitLead;
+  // Fig. 4 line 15: (LEAD, k, x, H) to all.
+  ByteWriter w;
+  w.u8(kTagLead);
+  w.uvarint(static_cast<std::uint64_t>(round_));
+  w.svarint(x_);
+  history_.encode(w);
+  broadcast(n_, w.take(), out);
+}
+
+void Anuc::on_message(Pid from, const Bytes& payload,
+                      std::vector<Outgoing>& out) {
+  ByteReader r(payload);
+  const auto tag = r.u8();
+  if (!tag) return;
+
+  switch (*tag) {
+    case kTagLead:
+    case kTagProp: {
+      const auto round = r.uvarint();
+      const auto v = r.svarint();
+      auto h = QuorumHistory::decode(r);
+      if (!round || !v || !h || h->n() != n_ || !r.done()) return;
+      RoundMsgs& msgs = inbox_[static_cast<int>(*round)];
+      auto& slot = (*tag == kTagLead) ? msgs.lead[from] : msgs.prop[from];
+      slot = HistoryMsg{*v, std::move(*h)};
+      break;
+    }
+    case kTagRep: {
+      const auto round = r.uvarint();
+      const auto v = r.svarint();
+      if (!round || !v || !r.done()) return;
+      inbox_[static_cast<int>(*round)].rep[from] = *v;
+      break;
+    }
+    case kTagSaw: {
+      // Fig. 4 lines 35-37: record the sender's quorum, acknowledge with
+      // our current round number.
+      const auto quorum = r.process_set();
+      if (!quorum || !r.done()) return;
+      history_.insert(from, *quorum);
+      ByteWriter w;
+      w.u8(kTagAck);
+      w.process_set(*quorum);
+      w.uvarint(static_cast<std::uint64_t>(round_));
+      out.push_back({from, w.take()});
+      break;
+    }
+    case kTagAck: {
+      // Fig. 4 lines 39-42.
+      const auto quorum = r.process_set();
+      const auto round = r.uvarint();
+      if (!quorum || !round || !r.done()) return;
+      SawState& state = saw_[quorum->mask()];
+      state.acks.insert(from);
+      state.max_ack_round =
+          std::max(state.max_ack_round, static_cast<int>(*round));
+      if (state.acks == *quorum) state.seen = state.max_ack_round;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Anuc::advance(const FdValue& d, std::vector<Outgoing>& out) {
+  // One simulator step may traverse several phases when their wait
+  // conditions already hold; each loop pass makes at most one transition.
+  while (true) {
+    RoundMsgs& msgs = inbox_[round_];
+
+    if (phase_ == Phase::kAwaitLead) {
+      // Fig. 4 lines 16-19.
+      if (!d.has_leader()) return;
+      const Pid leader = d.leader();
+      auto& lead = msgs.lead[leader];
+      if (!lead) return;
+      history_.import(lead->h);  // line 17, before the distrust check
+      if (!distrusts(leader)) x_ = lead->v;
+      ByteWriter w;
+      w.u8(kTagRep);
+      w.uvarint(static_cast<std::uint64_t>(round_));
+      w.svarint(x_);
+      broadcast(n_, w.take(), out);
+      phase_ = Phase::kAwaitReports;
+      continue;
+    }
+
+    if (!d.has_quorum()) return;
+
+    if (phase_ == Phase::kAwaitReports) {
+      // Fig. 4 lines 20-24.
+      const ProcessSet q = get_quorum(d);
+      bool complete = !q.empty();
+      for (Pid member : q) complete = complete && msgs.rep[member].has_value();
+      if (!complete) return;
+
+      bool unanimous = true;
+      const Value first = *msgs.rep[q.min()];
+      for (Pid member : q) unanimous = unanimous && (*msgs.rep[member] == first);
+
+      ByteWriter w;
+      w.u8(kTagProp);
+      w.uvarint(static_cast<std::uint64_t>(round_));
+      w.svarint(unanimous ? first : kQuestion);
+      history_.encode(w);
+      broadcast(n_, w.take(), out);
+      phase_ = Phase::kAwaitProposals;
+      continue;
+    }
+
+    // Phase::kAwaitProposals — Fig. 4 lines 25-33. Each pass is one
+    // iteration of the outer repeat: re-read the quorum, require all its
+    // proposals, import their histories, and re-check distrust.
+    const ProcessSet q = get_quorum(d);
+    bool complete = !q.empty();
+    for (Pid member : q) complete = complete && msgs.prop[member].has_value();
+    if (!complete) return;
+
+    for (Pid member : q) history_.import(msgs.prop[member]->h);  // line 27
+
+    for (Pid member : q) {
+      if (distrusts(member)) return;  // line 28 fails; retry next step
+    }
+
+    // Line 29: adopt any non-"?" proposal (Lemma 6.23: all non-"?"
+    // proposals a process collects in a round are equal).
+    bool all_v = true;
+    std::optional<Value> seen_v;
+    for (Pid member : q) {
+      const Value v = msgs.prop[member]->v;
+      if (v == kQuestion) {
+        all_v = false;
+      } else {
+        seen_v = v;
+      }
+    }
+    if (seen_v) x_ = *seen_v;
+
+    // Line 30: decide only with unanimity AND the quorum-awareness bound
+    // seen[Q] < k (the latter can be ablated for the E11 experiment).
+    const SawState& state = saw_[q.mask()];
+    const bool aware = !options_.use_quorum_awareness ||
+                       (state.seen && *state.seen < round_);
+    if (all_v && seen_v && aware && !decided_) {
+      decided_ = x_;
+      decided_round_ = round_;
+    }
+
+    // Lines 31-33: first use of this quorum to collect proposals.
+    SawState& mutable_state = saw_[q.mask()];
+    if (!mutable_state.sent) {
+      mutable_state.sent = true;
+      ByteWriter w;
+      w.u8(kTagSaw);
+      w.process_set(q);
+      const Bytes payload = w.take();
+      for (Pid member : q) out.push_back({member, payload});
+    }
+
+    inbox_.erase(inbox_.begin(), inbox_.lower_bound(round_));
+    start_round(out);
+  }
+}
+
+std::optional<Bytes> Anuc::snapshot() const {
+  ByteWriter w;
+  w.svarint(x_);
+  w.uvarint(static_cast<std::uint64_t>(round_));
+  w.u8(static_cast<std::uint8_t>(phase_));
+  w.u8(decided_.has_value());
+  if (decided_) w.svarint(*decided_);
+  history_.encode(w);
+  return w.take();
+}
+
+ConsensusFactory make_anuc(Pid n, AnucOptions options) {
+  return [n, options](Pid p, Value proposal) {
+    return std::make_unique<Anuc>(p, proposal, n, options);
+  };
+}
+
+}  // namespace nucon

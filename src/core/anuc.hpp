@@ -1,0 +1,119 @@
+// A_nuc: nonuniform consensus from (Omega, Sigma^nu+) in any environment
+// (paper Figs. 4 and 5, Theorem 6.27).
+//
+// The skeleton is the Mostéfaoui-Raynal three-phase round structure
+// (LEAD / REP / PROP), with two additions that defeat contamination:
+//
+//  * Distrust. Every process accumulates a quorum history H_p (its own
+//    quorums via get_quorum, everyone else's via SAW messages and the
+//    histories piggybacked on LEAD and PROP messages). A leader estimate
+//    is adopted only from a process p does not distrust, and proposals are
+//    only consumed from a quorum none of whose members is distrusted
+//    (Fig. 5 lines 51-53; core/quorum_history.hpp).
+//
+//  * Quorum awareness. Before p may decide using quorum Q, every member
+//    of Q must have acknowledged (SAW/ACK handshake, lines 31-42) having
+//    inserted Q into its copy of H[q] in an earlier round — so any process
+//    that later collects proposals from a quorum intersecting Q learns
+//    that p saw Q, and will distrust whoever presents a quorum disjoint
+//    from it (Lemmas 6.17, 6.24, 6.25).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "core/quorum_history.hpp"
+#include "sim/automaton.hpp"
+
+namespace nucon {
+
+/// Ablation switches for A_nuc. Both default on; the ablation experiment
+/// (bench_ablation, E11) disables each in turn and shows nonuniform
+/// agreement break under the adversarial oracle family — i.e. each of the
+/// paper's two additions over Mostéfaoui-Raynal is individually necessary.
+struct AnucOptions {
+  /// The distrust test before adopting a leader estimate and before
+  /// consuming a quorum's proposals (Fig. 4 lines 18 and 28).
+  bool use_distrust = true;
+  /// The SAW/ACK quorum-awareness precondition for deciding
+  /// (Fig. 4 line 30, "seen_p[Q_p] < k_p").
+  bool use_quorum_awareness = true;
+};
+
+class Anuc final : public ConsensusAutomaton {
+ public:
+  Anuc(Pid self, Value proposal, Pid n, AnucOptions options = {});
+
+  void step(const Incoming* in, const FdValue& d,
+            std::vector<Outgoing>& out) override;
+
+  [[nodiscard]] std::optional<Value> decision() const override {
+    return decided_;
+  }
+
+  [[nodiscard]] std::optional<Bytes> snapshot() const override;
+
+  [[nodiscard]] int round() const { return round_; }
+  [[nodiscard]] int decided_round() const { return decided_round_; }
+
+  /// Instrumentation for the benches.
+  [[nodiscard]] const QuorumHistory& history() const { return history_; }
+  [[nodiscard]] std::int64_t distrust_calls() const { return distrust_calls_; }
+  [[nodiscard]] std::int64_t distrust_hits() const { return distrust_hits_; }
+
+ private:
+  enum class Phase { kAwaitLead, kAwaitReports, kAwaitProposals };
+
+  static constexpr Value kQuestion = INT64_MIN;
+
+  struct HistoryMsg {
+    Value v = 0;
+    QuorumHistory h;
+  };
+
+  struct RoundMsgs {
+    std::optional<HistoryMsg> lead[kMaxProcesses];
+    std::optional<Value> rep[kMaxProcesses];
+    std::optional<HistoryMsg> prop[kMaxProcesses];
+  };
+
+  /// Per-quorum SAW/ACK bookkeeping (Fig. 4 lines 7-11 and 31-42); keyed
+  /// by the quorum's bitmask. `seen` empty encodes the initial infinity.
+  struct SawState {
+    bool sent = false;
+    ProcessSet acks;
+    int max_ack_round = 0;
+    std::optional<int> seen;
+  };
+
+  void on_message(Pid from, const Bytes& payload, std::vector<Outgoing>& out);
+  void advance(const FdValue& d, std::vector<Outgoing>& out);
+  void start_round(std::vector<Outgoing>& out);
+
+  /// get_quorum() (Fig. 5 lines 47-50): reads the Sigma^nu+ component and
+  /// records it as one of this process's own quorums.
+  ProcessSet get_quorum(const FdValue& d);
+
+  [[nodiscard]] bool distrusts(Pid q);
+
+  const Pid self_;
+  const Pid n_;
+  const AnucOptions options_;
+
+  Value x_;  // current estimate
+  int round_ = 0;
+  Phase phase_ = Phase::kAwaitLead;
+  std::optional<Value> decided_;
+  int decided_round_ = 0;
+
+  QuorumHistory history_;
+  std::map<int, RoundMsgs> inbox_;
+  std::map<std::uint64_t, SawState> saw_;
+
+  std::int64_t distrust_calls_ = 0;
+  std::int64_t distrust_hits_ = 0;
+};
+
+[[nodiscard]] ConsensusFactory make_anuc(Pid n, AnucOptions options = {});
+
+}  // namespace nucon

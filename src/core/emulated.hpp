@@ -1,0 +1,36 @@
+// Emulated failure detectors (paper §2.9).
+//
+// A transformation algorithm T_{D->D'} maintains a variable output_p at
+// every process; the history O_R of those variables is the emulated D'.
+// Automata implementing a transformation expose the variable through this
+// interface, and `record_emulated` captures O_R while the scheduler runs
+// so the fd/history.hpp checkers can decide whether O_R is in D'(F).
+#pragma once
+
+#include "fd/history.hpp"
+#include "sim/scheduler.hpp"
+
+namespace nucon {
+
+class EmulatedFd {
+ public:
+  virtual ~EmulatedFd() = default;
+  /// The current value of output_p.
+  [[nodiscard]] virtual FdValue emulated_output() const = 0;
+};
+
+/// An on_step observer that appends the stepping process's current
+/// emulated output to `sink`. output_p only changes when p steps, so
+/// sampling at p's steps records the full history of distinct values.
+[[nodiscard]] inline SchedulerOptions with_emulation_recording(
+    SchedulerOptions opts, RecordedHistory& sink) {
+  opts.on_step = [&sink](const StepRecord& rec,
+                         const std::vector<std::unique_ptr<Automaton>>& all) {
+    const auto* fd = dynamic_cast<const EmulatedFd*>(
+        all[static_cast<std::size_t>(rec.p)].get());
+    if (fd != nullptr) sink.add(rec.p, rec.t, fd->emulated_output());
+  };
+  return opts;
+}
+
+}  // namespace nucon

@@ -1,0 +1,64 @@
+#include "core/from_scratch.hpp"
+
+namespace nucon {
+namespace {
+
+constexpr std::uint8_t kChannelOmega = 0;
+constexpr std::uint8_t kChannelSigma = 1;
+constexpr std::uint8_t kChannelConsensus = 2;
+
+}  // namespace
+
+FromScratchConsensus::FromScratchConsensus(Pid self, Value proposal, Pid n,
+                                           Pid t)
+    : omega_(self, n),
+      sigma_(self, n, t),
+      consensus_(self, proposal, MrOptions{n, MrQuorumMode::kFdQuorum}) {}
+
+void FromScratchConsensus::step_component(Automaton& component,
+                                          const Incoming* in, const FdValue& d,
+                                          std::uint8_t channel,
+                                          std::vector<Outgoing>& out) {
+  std::vector<Outgoing> sends;
+  component.step(in, d, sends);
+  for (Outgoing& o : sends) {
+    Bytes framed;
+    framed.reserve(o.payload.size() + 1);
+    framed.push_back(channel);
+    framed.insert(framed.end(), o.payload.begin(), o.payload.end());
+    out.push_back({o.to, std::move(framed)});
+  }
+}
+
+void FromScratchConsensus::step(const Incoming* in, const FdValue& d,
+                                std::vector<Outgoing>& out) {
+  (void)d;  // no oracle anywhere in this stack
+
+  const Incoming* routed[3] = {nullptr, nullptr, nullptr};
+  Incoming inner;
+  Bytes inner_payload;
+  if (in != nullptr && !in->payload->empty()) {
+    const std::uint8_t channel = in->payload->front();
+    if (channel <= kChannelConsensus) {
+      inner_payload.assign(in->payload->begin() + 1, in->payload->end());
+      inner = Incoming{in->from, &inner_payload};
+      routed[channel] = &inner;
+    }
+  }
+
+  step_component(omega_, routed[kChannelOmega], FdValue{}, kChannelOmega, out);
+  step_component(sigma_, routed[kChannelSigma], FdValue{}, kChannelSigma, out);
+
+  const FdValue synthesized = FdValue::combine(
+      omega_.emulated_output(), sigma_.emulated_output());
+  step_component(consensus_, routed[kChannelConsensus], synthesized,
+                 kChannelConsensus, out);
+}
+
+ConsensusFactory make_from_scratch(Pid n, Pid t) {
+  return [n, t](Pid p, Value proposal) {
+    return std::make_unique<FromScratchConsensus>(p, proposal, n, t);
+  };
+}
+
+}  // namespace nucon

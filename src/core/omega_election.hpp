@@ -1,0 +1,75 @@
+// Omega implemented from scratch: adaptive-timeout heartbeat leader
+// election.
+//
+// The paper takes Omega as given (its implementability is a separate
+// literature); the library provides a working implementation so that, in
+// majority environments, the entire stack — Omega, Sigma, consensus — can
+// run with no oracle at all (core/from_scratch.hpp).
+//
+// Processes have no clocks; each uses its own step count. Every
+// `heartbeat_every` own steps it broadcasts a heartbeat. A peer is
+// suspected when no heartbeat arrived for `timeout[q]` own steps; a
+// heartbeat from a suspected peer proves the suspicion false and doubles
+// that peer's timeout. The output is the smallest unsuspected process.
+//
+// Under any fair scheduler with bounded effective message age (our
+// admissibility backstop), every correct process's heartbeats keep
+// arriving within a bounded number of the observer's own steps, so each
+// correct process is falsely suspected only finitely often (each time its
+// timeout doubles), crashed processes are eventually suspected forever,
+// and all correct outputs converge to the smallest correct process: the
+// emitted history is in Omega. Works in EVERY environment — leadership,
+// unlike quorums, needs no majority.
+#pragma once
+
+#include <vector>
+
+#include "core/emulated.hpp"
+#include "sim/automaton.hpp"
+
+namespace nucon {
+
+struct OmegaElectionOptions {
+  /// Heartbeat cadence in own steps; 0 resolves to 2n (like the DAG gossip
+  /// cadence, a per-step broadcast cannot drain in a one-receive-per-step
+  /// model).
+  int heartbeat_every = 0;
+  /// Initial per-peer timeout in own steps; 0 resolves to 8x the cadence.
+  std::int64_t initial_timeout = 0;
+};
+
+class OmegaElection final : public Automaton, public EmulatedFd {
+ public:
+  OmegaElection(Pid self, Pid n, OmegaElectionOptions opts = {});
+
+  void step(const Incoming* in, const FdValue& d,
+            std::vector<Outgoing>& out) override;
+
+  [[nodiscard]] FdValue emulated_output() const override {
+    return FdValue::of_leader(leader_);
+  }
+
+  [[nodiscard]] ProcessSet suspected() const { return suspected_; }
+  [[nodiscard]] std::int64_t false_suspicions() const {
+    return false_suspicions_;
+  }
+
+ private:
+  void refresh(Pid q);
+
+  const Pid self_;
+  const Pid n_;
+  OmegaElectionOptions opts_;  // defaults resolved in the constructor
+
+  std::int64_t own_steps_ = 0;
+  std::vector<std::int64_t> last_heartbeat_;  // own-step stamp per process
+  std::vector<std::int64_t> timeout_;
+  ProcessSet suspected_;
+  Pid leader_;
+  std::int64_t false_suspicions_ = 0;
+};
+
+[[nodiscard]] AutomatonFactory make_omega_election(
+    Pid n, OmegaElectionOptions opts = {});
+
+}  // namespace nucon

@@ -1,0 +1,71 @@
+// The partition argument of Theorem 7.1 (ONLY-IF direction), executable.
+//
+// With t >= n/2, split Pi into disjoint halves A and B and feed any
+// candidate transformation T the legal (Omega, Sigma^nu) history in which
+// A-side modules forever output (min A, A) and B-side modules (min B, B):
+//
+//   run R   — all of B crashed at time 0, A correct: Sigma completeness
+//             forces some a in A to output a quorum A' inside A by some
+//             time tau;
+//   run R_B — the mirror image on the B side;
+//   run R'  — the *merge* (Lemma 2.2) of R truncated at tau with R_B,
+//             under the failure pattern "A crashes at tau+1": a still
+//             outputs A' at tau, some b in B outputs B' inside B, and
+//             A' and B' are disjoint — the emulated history violates
+//             Sigma's intersection property.
+//
+// A candidate can only escape the intersection violation by never
+// achieving completeness on one side (blocking forever), which is also a
+// failure. The harness detects and reports either outcome; Theorem 7.1
+// says EVERY candidate is defeated, and the tests run the harness against
+// a portfolio of natural candidates.
+#pragma once
+
+#include <string>
+
+#include "core/emulated.hpp"
+#include "sim/merge.hpp"
+
+namespace nucon {
+
+enum class PartitionOutcome {
+  /// Intersection violated: disjoint quorums emitted on the two sides of
+  /// the merged run (the expected defeat).
+  kIntersectionViolated,
+  /// A side never emitted a quorum of its own processes: completeness of
+  /// Sigma fails in that run (the other possible defeat).
+  kCompletenessFailed,
+  /// The candidate survived within the step budget (would contradict
+  /// Theorem 7.1 if the budget were infinite; never expected).
+  kSurvived,
+};
+
+struct PartitionDemoResult {
+  PartitionOutcome outcome = PartitionOutcome::kSurvived;
+  ProcessSet side_a, side_b;
+  Time tau = 0;                    // when the A-side witness emitted
+  Pid witness_a = -1, witness_b = -1;
+  ProcessSet quorum_a, quorum_b;   // the disjoint quorums, if violated
+  bool merged_run_valid = false;   // Lemma 2.2 replay of R' succeeded
+  std::string detail;
+};
+
+/// Runs the construction against a candidate transformation. The factory's
+/// automata must implement EmulatedFd and emit quorum values.
+[[nodiscard]] PartitionDemoResult run_partition_argument(
+    Pid n, const AutomatonFactory& candidate, std::int64_t max_steps,
+    std::uint64_t seed);
+
+// --- A portfolio of natural candidates to defeat ---------------------------
+
+/// Outputs the Sigma^nu quorum currently read from the detector.
+[[nodiscard]] AutomatonFactory make_identity_candidate();
+
+/// Gossips every quorum it reads and outputs the union of everything heard.
+[[nodiscard]] AutomatonFactory make_gossip_union_candidate(Pid n);
+
+/// Waits for round tags from n - t processes (the majority algorithm of
+/// Theorem 7.1-IF run outside its precondition, with t = ceil(n/2)).
+[[nodiscard]] AutomatonFactory make_wait_for_n_minus_t_candidate(Pid n);
+
+}  // namespace nucon

@@ -1,0 +1,93 @@
+#include "core/quorum_history.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nucon {
+
+QuorumHistory::QuorumHistory(Pid n)
+    : n_(n), sets_(static_cast<std::size_t>(n)) {
+  assert(n >= 1 && n <= kMaxProcesses);
+}
+
+void QuorumHistory::insert(Pid q, ProcessSet quorum) {
+  assert(q >= 0 && q < n_);
+  auto& sets = sets_[static_cast<std::size_t>(q)];
+  const auto it = std::lower_bound(sets.begin(), sets.end(), quorum);
+  if (it == sets.end() || *it != quorum) sets.insert(it, quorum);
+}
+
+void QuorumHistory::import(const QuorumHistory& other) {
+  assert(other.n_ == n_);
+  for (Pid q = 0; q < n_; ++q) {
+    for (ProcessSet quorum : other.of(q)) insert(q, quorum);
+  }
+}
+
+bool QuorumHistory::knows(Pid q, ProcessSet quorum) const {
+  assert(q >= 0 && q < n_);
+  const auto& sets = sets_[static_cast<std::size_t>(q)];
+  return std::binary_search(sets.begin(), sets.end(), quorum);
+}
+
+ProcessSet QuorumHistory::considered_faulty(Pid self) const {
+  ProcessSet out;
+  const auto& mine = of(self);
+  for (Pid q = 0; q < n_; ++q) {
+    for (ProcessSet quorum : of(q)) {
+      for (ProcessSet own : mine) {
+        if (!quorum.intersects(own)) {
+          out.insert(q);
+          break;
+        }
+      }
+      if (out.contains(q)) break;
+    }
+  }
+  return out;
+}
+
+bool QuorumHistory::distrusts(Pid self, Pid q) const {
+  const ProcessSet faulty = considered_faulty(self);
+  for (Pid r = 0; r < n_; ++r) {
+    if (faulty.contains(r)) continue;
+    for (ProcessSet rq : of(r)) {
+      for (ProcessSet qq : of(q)) {
+        if (!qq.intersects(rq)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t QuorumHistory::size() const {
+  std::size_t total = 0;
+  for (const auto& sets : sets_) total += sets.size();
+  return total;
+}
+
+void QuorumHistory::encode(ByteWriter& w) const {
+  w.pid(n_);
+  for (const auto& sets : sets_) {
+    w.uvarint(sets.size());
+    for (ProcessSet q : sets) w.process_set(q);
+  }
+}
+
+std::optional<QuorumHistory> QuorumHistory::decode(ByteReader& r) {
+  const auto n = r.pid();
+  if (!n || *n < 1) return std::nullopt;
+  QuorumHistory h(*n);
+  for (Pid q = 0; q < *n; ++q) {
+    const auto len = r.uvarint();
+    if (!len) return std::nullopt;
+    for (std::uint64_t i = 0; i < *len; ++i) {
+      const auto quorum = r.process_set();
+      if (!quorum) return std::nullopt;
+      h.insert(q, *quorum);
+    }
+  }
+  return h;
+}
+
+}  // namespace nucon

@@ -1,0 +1,61 @@
+// Quorum histories and the distrust machinery of A_nuc (paper Fig. 5).
+//
+// H_p is an array indexed by process: H_p[q] is the set of quorums of q
+// that p knows about (its own via get_quorum, others' via SAW messages and
+// the histories piggybacked on LEAD/PROP messages).
+//
+//   F_p          = processes q' with a known quorum disjoint from one of
+//                  p's own quorums — p "considers q' faulty" (line 52);
+//   distrusts(q) = there are r not in F_p and known quorums Q of q and R
+//                  of r that are disjoint (line 53).
+//
+// Quorums are only ever added (Observation 6.10), so F_p is monotone
+// (Observation 6.11).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/process_set.hpp"
+
+namespace nucon {
+
+class QuorumHistory {
+ public:
+  explicit QuorumHistory(Pid n);
+
+  [[nodiscard]] Pid n() const { return n_; }
+
+  /// H[q] <- H[q] u {quorum}.
+  void insert(Pid q, ProcessSet quorum);
+
+  /// import_history (Fig. 5 lines 44-46): pointwise union.
+  void import(const QuorumHistory& other);
+
+  /// The known quorums of q.
+  [[nodiscard]] const std::vector<ProcessSet>& of(Pid q) const {
+    return sets_[static_cast<std::size_t>(q)];
+  }
+
+  [[nodiscard]] bool knows(Pid q, ProcessSet quorum) const;
+
+  /// F_p for p = self (Fig. 5 line 52).
+  [[nodiscard]] ProcessSet considered_faulty(Pid self) const;
+
+  /// distrusts(q) for p = self (Fig. 5 lines 51-53).
+  [[nodiscard]] bool distrusts(Pid self, Pid q) const;
+
+  /// Total number of (process, quorum) entries.
+  [[nodiscard]] std::size_t size() const;
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static std::optional<QuorumHistory> decode(ByteReader& r);
+
+ private:
+  Pid n_;
+  /// sets_[q] = known quorums of q, kept sorted and deduplicated.
+  std::vector<std::vector<ProcessSet>> sets_;
+};
+
+}  // namespace nucon

@@ -1,0 +1,57 @@
+#include "core/sigma_nu_to_plus.hpp"
+
+namespace nucon {
+
+SigmaNuToPlus::SigmaNuToPlus(Pid self, Pid n, int gossip_every)
+    : core_(self, n),
+      n_(n),
+      gossip_every_(effective_gossip_every(gossip_every, n)),
+      output_(ProcessSet::full(n)) {}
+
+void SigmaNuToPlus::step(const Incoming* in, const FdValue& d,
+                         std::vector<Outgoing>& out) {
+  const NodeRef fresh = core_.on_step(in, d);
+  if (core_.k() % static_cast<std::uint32_t>(gossip_every_) == 0) {
+    gossip_to_others(core_.self(), n_, core_.gossip(), out);
+  }
+
+  if (core_.k() == 1) u_ = fresh;  // line 13
+  try_emit(fresh);
+}
+
+bool SigmaNuToPlus::try_emit(NodeRef fresh) {
+  const SampleDag& dag = core_.dag();
+  const std::vector<NodeRef> chain = dag.fair_chain(u_);
+
+  // Scan suffixes from the back, accumulating participants(g) and
+  // trusted(g) incrementally; remember the longest suffix satisfying the
+  // line 15 condition.
+  ProcessSet participants;
+  ProcessSet trusted;
+  std::optional<std::size_t> best_start;
+  for (std::size_t i = chain.size(); i-- > 0;) {
+    const NodeRef v = chain[i];
+    participants.insert(v.q);
+    const FdValue& d = dag.node(v).d;
+    if (d.has_quorum()) trusted |= d.quorum();
+    if (trusted.is_subset_of(participants) &&
+        participants.contains(core_.self())) {
+      best_start = i;
+    }
+  }
+  if (!best_start) return false;
+
+  output_ = participants_of(
+      std::span<const NodeRef>(chain).subspan(*best_start));  // line 16
+  u_ = fresh;                                                 // line 17
+  ++outputs_;
+  return true;
+}
+
+AutomatonFactory make_sigma_nu_to_plus(Pid n, int gossip_every) {
+  return [n, gossip_every](Pid p) {
+    return std::make_unique<SigmaNuToPlus>(p, n, gossip_every);
+  };
+}
+
+}  // namespace nucon

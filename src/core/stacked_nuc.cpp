@@ -1,0 +1,62 @@
+#include "core/stacked_nuc.hpp"
+
+namespace nucon {
+namespace {
+
+constexpr std::uint8_t kChannelTransform = 0;
+constexpr std::uint8_t kChannelConsensus = 1;
+
+}  // namespace
+
+StackedNuc::StackedNuc(Pid self, Value proposal, Pid n, int gossip_every)
+    : transform_(self, n, gossip_every), consensus_(self, proposal, n) {}
+
+void StackedNuc::step_component(Automaton& component, const Incoming* in,
+                                const FdValue& d, std::uint8_t channel,
+                                std::vector<Outgoing>& out) {
+  std::vector<Outgoing> sends;
+  component.step(in, d, sends);
+  for (Outgoing& o : sends) {
+    Bytes framed;
+    framed.reserve(o.payload.size() + 1);
+    framed.push_back(channel);
+    framed.insert(framed.end(), o.payload.begin(), o.payload.end());
+    out.push_back({o.to, std::move(framed)});
+  }
+}
+
+void StackedNuc::step(const Incoming* in, const FdValue& d,
+                      std::vector<Outgoing>& out) {
+  // Demultiplex the received message (if any) to its component.
+  const Incoming* for_transform = nullptr;
+  const Incoming* for_consensus = nullptr;
+  Incoming inner;
+  Bytes inner_payload;
+  if (in != nullptr && !in->payload->empty()) {
+    const std::uint8_t channel = in->payload->front();
+    inner_payload.assign(in->payload->begin() + 1, in->payload->end());
+    inner = Incoming{in->from, &inner_payload};
+    if (channel == kChannelTransform) {
+      for_transform = &inner;
+    } else if (channel == kChannelConsensus) {
+      for_consensus = &inner;
+    }
+  }
+
+  // The transformation samples the raw Sigma^nu quorum.
+  step_component(transform_, for_transform, d, kChannelTransform, out);
+
+  // A_nuc sees (Omega directly, Sigma^nu+ through the output variable).
+  FdValue synthesized = transform_.emulated_output();
+  if (d.has_leader()) synthesized.set_leader(d.leader());
+  step_component(consensus_, for_consensus, synthesized, kChannelConsensus,
+                 out);
+}
+
+ConsensusFactory make_stacked_nuc(Pid n, int gossip_every) {
+  return [n, gossip_every](Pid p, Value proposal) {
+    return std::make_unique<StackedNuc>(p, proposal, n, gossip_every);
+  };
+}
+
+}  // namespace nucon

@@ -1,0 +1,46 @@
+#include "dag/dag_builder.hpp"
+
+namespace nucon {
+
+NodeRef DagCore::on_step(const Incoming* in, const FdValue& d) {
+  if (in != nullptr) {
+    // Malformed or foreign-sized gossip is dropped, matching the listing's
+    // assumption that messages are DAGs.
+    if (auto received = SampleDag::deserialize(*in->payload);
+        received && received->n() == dag_.n()) {
+      dag_.merge_from(*received);
+    }
+  }
+  ++k_;
+  return dag_.take_sample(self_, d);
+}
+
+void gossip_to_others(Pid self, Pid n, const Bytes& payload,
+                      std::vector<Outgoing>& out) {
+  for (Pid q = 0; q < n; ++q) {
+    if (q != self) out.push_back({q, payload});
+  }
+}
+
+AutomatonFactory make_adag(Pid n, int gossip_every) {
+  return [n, gossip_every](Pid p) {
+    return std::make_unique<AdagAutomaton>(p, n, gossip_every);
+  };
+}
+
+ProcessSet participants_of(std::span<const NodeRef> path) {
+  ProcessSet out;
+  for (const NodeRef& v : path) out.insert(v.q);
+  return out;
+}
+
+ProcessSet trusted_of(const SampleDag& dag, std::span<const NodeRef> path) {
+  ProcessSet out;
+  for (const NodeRef& v : path) {
+    const FdValue& d = dag.node(v).d;
+    if (d.has_quorum()) out |= d.quorum();
+  }
+  return out;
+}
+
+}  // namespace nucon

@@ -1,0 +1,71 @@
+#include "dag/schedule_sim.hpp"
+
+#include <cassert>
+
+#include "sim/message.hpp"
+
+namespace nucon {
+
+ChainSimOutcome simulate_chain(const SampleDag& dag,
+                               std::span<const NodeRef> chain,
+                               const ConsensusFactory& make,
+                               const std::vector<Value>& proposals,
+                               Pid observer) {
+  const Pid n = dag.n();
+  assert(proposals.size() == static_cast<std::size_t>(n));
+  assert(observer >= 0 && observer < n);
+
+  ChainSimOutcome outcome;
+
+  std::vector<std::unique_ptr<ConsensusAutomaton>> automata;
+  automata.reserve(static_cast<std::size_t>(n));
+  for (Pid p = 0; p < n; ++p) {
+    automata.push_back(make(p, proposals[static_cast<std::size_t>(p)]));
+  }
+
+  MessageBuffer buffer;
+  std::vector<std::uint64_t> send_seq(static_cast<std::size_t>(n), 0);
+  std::vector<Outgoing> sends;
+
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const NodeRef node = chain[i];
+    const Pid p = node.q;
+    const FdValue& d = dag.node(node).d;
+    outcome.participants.insert(p);
+
+    // Lemma 4.10 delivery rule: the oldest pending message, else lambda.
+    std::optional<Message> msg;
+    if (buffer.pending_for(p) > 0) msg = buffer.take(p, 0);
+
+    sends.clear();
+    if (msg) {
+      const Incoming in{msg->id.sender, &msg->payload};
+      automata[static_cast<std::size_t>(p)]->step(&in, d, sends);
+    } else {
+      automata[static_cast<std::size_t>(p)]->step(nullptr, d, sends);
+    }
+
+    for (Outgoing& o : sends) {
+      Message m;
+      m.id = MsgId{p, ++send_seq[static_cast<std::size_t>(p)]};
+      m.to = o.to;
+      m.sent_at = static_cast<Time>(i);
+      m.payload = std::move(o.payload);
+      buffer.add(std::move(m));
+    }
+
+    if (!outcome.observer_decided) {
+      if (const auto decision =
+              automata[static_cast<std::size_t>(observer)]->decision()) {
+        outcome.observer_decided = true;
+        outcome.decision = decision;
+        outcome.steps_to_decision = i + 1;
+        outcome.prefix_participants = outcome.participants;
+      }
+    }
+  }
+
+  return outcome;
+}
+
+}  // namespace nucon

@@ -1,0 +1,41 @@
+// Simulating schedules of an algorithm A from a DAG of samples
+// (paper §4.2, Lemmas 4.9-4.10).
+//
+// A path g = (p1,d1,k1), (p2,d2,k2), ... through a DAG of samples of D
+// determines schedules of A-using-D: process p1 steps first seeing d1,
+// then p2 seeing d2, and so on; the free choice is which pending message
+// each step receives. Following the constructive proof of Lemma 4.10 we
+// always deliver the *oldest* pending message (or lambda when none is
+// pending), which makes the simulated run admissible in the limit and the
+// simulation deterministic.
+#pragma once
+
+#include <span>
+
+#include "dag/sample_dag.hpp"
+#include "sim/automaton.hpp"
+
+namespace nucon {
+
+struct ChainSimOutcome {
+  /// Whether the observer decided within the simulated schedule.
+  bool observer_decided = false;
+  std::optional<Value> decision;
+  /// Length of the shortest deciding prefix (only when observer_decided).
+  std::size_t steps_to_decision = 0;
+  /// participants() of that deciding prefix.
+  ProcessSet prefix_participants;
+  /// participants of the full simulated schedule.
+  ProcessSet participants;
+};
+
+/// Simulates algorithm `make` along `chain` (a path in `dag`) from the
+/// initial configuration in which process p proposes proposals[p], and
+/// reports whether/when `observer` decides.
+[[nodiscard]] ChainSimOutcome simulate_chain(const SampleDag& dag,
+                                             std::span<const NodeRef> chain,
+                                             const ConsensusFactory& make,
+                                             const std::vector<Value>& proposals,
+                                             Pid observer);
+
+}  // namespace nucon

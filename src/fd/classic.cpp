@@ -1,0 +1,57 @@
+#include "fd/classic.hpp"
+
+#include <cassert>
+
+#include "fd/oracle_base.hpp"
+
+namespace nucon {
+namespace {
+
+/// Random subset of `universe` derived from a mix word.
+ProcessSet noise_subset(ProcessSet universe, std::uint64_t mix) {
+  Rng rng(mix);
+  const int k = static_cast<int>(
+      rng.below(static_cast<std::uint64_t>(universe.size()) + 1));
+  return rng.pick_subset(universe, k);
+}
+
+}  // namespace
+
+FdValue PerfectOracle::value(Pid p, Time t) {
+  (void)p;
+  return FdValue::of_suspects(fp_.crashed_at(t));
+}
+
+FdValue EvtPerfectOracle::value(Pid p, Time t) {
+  if (t >= opts_.stabilize_at) return FdValue::of_suspects(fp_.faulty());
+  return FdValue::of_suspects(
+      noise_subset(ProcessSet::full(fp_.n()), oracle_mix(opts_.seed, p, t)));
+}
+
+StrongOracle::StrongOracle(const FailurePattern& fp, SuspectsOptions opts)
+    : fp_(fp), opts_(opts), safe_(0) {
+  assert(!fp_.correct().empty());
+  safe_ = fp_.correct().min();
+}
+
+FdValue StrongOracle::value(Pid p, Time t) {
+  // Weak accuracy is perpetual: `safe_` is excluded from every suspect
+  // list, before and after stabilization.
+  if (t >= opts_.stabilize_at) {
+    return FdValue::of_suspects(fp_.faulty() - ProcessSet::single(safe_));
+  }
+  const ProcessSet universe =
+      ProcessSet::full(fp_.n()) - ProcessSet::single(safe_);
+  return FdValue::of_suspects(
+      noise_subset(universe, oracle_mix(opts_.seed, p, t)));
+}
+
+FdValue EvtStrongOracle::value(Pid p, Time t) {
+  if (t >= opts_.stabilize_at) return FdValue::of_suspects(fp_.faulty());
+  // Pre-stabilization noise may wrongly suspect anyone, including the
+  // eventual never-suspected process.
+  return FdValue::of_suspects(
+      noise_subset(ProcessSet::full(fp_.n()), oracle_mix(opts_.seed, p, t)));
+}
+
+}  // namespace nucon

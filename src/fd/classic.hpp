@@ -1,0 +1,70 @@
+// The classical Chandra-Toueg suspect-list detectors: P, <>P, S, <>S.
+//
+// These are not part of the paper's contribution but are the standard
+// substrate its lineage builds on ([1, 2]); the library provides them both
+// as baselines (the Chandra-Toueg rotating-coordinator consensus in
+// algo/ct_consensus uses <>S) and to exercise the generic "extract Sigma^nu
+// from any detector that solves consensus" pipeline with detectors other
+// than quorum detectors.
+#pragma once
+
+#include "fd/failure_detector.hpp"
+
+namespace nucon {
+
+struct SuspectsOptions {
+  /// Time after which the "eventual" detectors become exact.
+  Time stabilize_at = 0;
+  std::uint64_t seed = 0x5059;
+};
+
+/// P: suspects exactly the processes that have crashed so far (strong
+/// accuracy + strong completeness hold perpetually).
+class PerfectOracle final : public Oracle {
+ public:
+  explicit PerfectOracle(const FailurePattern& fp) : fp_(fp) {}
+  [[nodiscard]] FdValue value(Pid p, Time t) override;
+
+ private:
+  const FailurePattern& fp_;
+};
+
+/// <>P: arbitrary noise before stabilization, exactly faulty(F) after.
+class EvtPerfectOracle final : public Oracle {
+ public:
+  EvtPerfectOracle(const FailurePattern& fp, SuspectsOptions opts)
+      : fp_(fp), opts_(opts) {}
+  [[nodiscard]] FdValue value(Pid p, Time t) override;
+
+ private:
+  const FailurePattern& fp_;
+  SuspectsOptions opts_;
+};
+
+/// S: strong completeness + perpetual weak accuracy — one distinguished
+/// correct process is never suspected by anyone.
+class StrongOracle final : public Oracle {
+ public:
+  StrongOracle(const FailurePattern& fp, SuspectsOptions opts);
+  [[nodiscard]] FdValue value(Pid p, Time t) override;
+  [[nodiscard]] Pid never_suspected() const { return safe_; }
+
+ private:
+  const FailurePattern& fp_;
+  SuspectsOptions opts_;
+  Pid safe_;
+};
+
+/// <>S: strong completeness + eventual weak accuracy.
+class EvtStrongOracle final : public Oracle {
+ public:
+  EvtStrongOracle(const FailurePattern& fp, SuspectsOptions opts)
+      : fp_(fp), opts_(opts) {}
+  [[nodiscard]] FdValue value(Pid p, Time t) override;
+
+ private:
+  const FailurePattern& fp_;
+  SuspectsOptions opts_;
+};
+
+}  // namespace nucon

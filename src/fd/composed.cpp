@@ -1,0 +1,9 @@
+#include "fd/composed.hpp"
+
+namespace nucon {
+
+FdValue ComposedOracle::value(Pid p, Time t) {
+  return FdValue::combine(first_.value(p, t), second_.value(p, t));
+}
+
+}  // namespace nucon

@@ -1,0 +1,24 @@
+// Product failure detectors (D, D') (paper §2.3, footnote 1).
+//
+// The output at (p, t) is the pair of the component outputs. In FdValue
+// terms, the components occupy disjoint slots (e.g. Omega fills `leader`,
+// Sigma^nu+ fills `quorum`), so the pair is their union.
+#pragma once
+
+#include "fd/failure_detector.hpp"
+
+namespace nucon {
+
+class ComposedOracle final : public Oracle {
+ public:
+  ComposedOracle(Oracle& first, Oracle& second)
+      : first_(first), second_(second) {}
+
+  [[nodiscard]] FdValue value(Pid p, Time t) override;
+
+ private:
+  Oracle& first_;
+  Oracle& second_;
+};
+
+}  // namespace nucon

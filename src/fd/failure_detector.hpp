@@ -1,0 +1,29 @@
+// Abstract failure detectors (paper §2.3).
+//
+// A failure detector D maps a failure pattern F to a set of histories
+// H : Pi x N -> R. An Oracle below *is* one such history, fixed lazily: it
+// answers "what does p's module output at time t" deterministically (the
+// same (p, t) always yields the same value), so the function it computes is
+// a single H, and concrete oracles guarantee H is in D(F) for their class.
+#pragma once
+
+#include "sim/failure_pattern.hpp"
+#include "util/fd_value.hpp"
+
+namespace nucon {
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  Oracle() = default;
+  Oracle(const Oracle&) = delete;
+  Oracle& operator=(const Oracle&) = delete;
+
+  /// The value H(p, t). Only queried for p alive at t (the model never
+  /// lets a crashed process take a step), but implementations must still
+  /// be well-defined for any (p, t) since histories are total functions.
+  [[nodiscard]] virtual FdValue value(Pid p, Time t) = 0;
+};
+
+}  // namespace nucon

@@ -1,0 +1,246 @@
+#include "fd/history.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nucon {
+namespace {
+
+/// Finite form of "there is a time after which every sample of every
+/// correct process satisfies pred": find the last violating sample time t*
+/// among correct processes, then require every correct process to have at
+/// least one sample after t* (so the suffix is witnessed, not vacuous).
+template <typename Pred>
+CheckResult eventually_all_correct(const RecordedHistory& h,
+                                   const FailurePattern& fp, Pred pred,
+                                   const char* what) {
+  Time last_violation = -1;
+  for (const Sample& s : h.samples()) {
+    if (!fp.is_correct(s.p)) continue;
+    if (!pred(s)) last_violation = std::max(last_violation, s.t);
+  }
+  for (Pid p : fp.correct()) {
+    bool witnessed = false;
+    for (const Sample& s : h.samples()) {
+      if (s.p == p && s.t > last_violation) {
+        witnessed = true;
+        break;
+      }
+    }
+    if (!witnessed) {
+      return CheckResult::fail(
+          std::string(what) + ": correct process " + std::to_string(p) +
+          " has no sample after the last violation (t=" +
+          std::to_string(last_violation) + ")");
+    }
+  }
+  return CheckResult::pass();
+}
+
+/// Unique quorum values among samples of the given processes.
+std::vector<ProcessSet> unique_quorums(const RecordedHistory& h,
+                                       ProcessSet from) {
+  std::vector<std::uint64_t> masks;
+  for (const Sample& s : h.samples()) {
+    if (from.contains(s.p) && s.value.has_quorum()) {
+      masks.push_back(s.value.quorum().mask());
+    }
+  }
+  std::sort(masks.begin(), masks.end());
+  masks.erase(std::unique(masks.begin(), masks.end()), masks.end());
+  std::vector<ProcessSet> out;
+  out.reserve(masks.size());
+  for (std::uint64_t m : masks) out.push_back(ProcessSet::from_mask(m));
+  return out;
+}
+
+CheckResult pairwise_intersection(const std::vector<ProcessSet>& quorums,
+                                  const char* what) {
+  for (std::size_t i = 0; i < quorums.size(); ++i) {
+    for (std::size_t j = i; j < quorums.size(); ++j) {
+      if (!quorums[i].intersects(quorums[j])) {
+        return CheckResult::fail(std::string(what) + ": quorums " +
+                                 quorums[i].to_string() + " and " +
+                                 quorums[j].to_string() + " are disjoint");
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult quorum_completeness(const RecordedHistory& h,
+                                const FailurePattern& fp) {
+  const ProcessSet correct = fp.correct();
+  return eventually_all_correct(
+      h, fp,
+      [correct](const Sample& s) {
+        return s.value.has_quorum() && s.value.quorum().is_subset_of(correct);
+      },
+      "completeness");
+}
+
+}  // namespace
+
+std::vector<Sample> RecordedHistory::of(Pid p) const {
+  std::vector<Sample> out;
+  for (const Sample& s : samples_) {
+    if (s.p == p) out.push_back(s);
+  }
+  return out;
+}
+
+RecordedHistory RecordedHistory::from_run(const Run& run) {
+  RecordedHistory h;
+  for (const StepRecord& s : run.steps) h.add(s.p, s.t, s.d);
+  return h;
+}
+
+CheckResult check_omega(const RecordedHistory& h, const FailurePattern& fp) {
+  if (fp.correct().empty()) return CheckResult::pass();
+  for (Pid c : fp.correct()) {
+    const auto result = eventually_all_correct(
+        h, fp,
+        [c](const Sample& s) {
+          return s.value.has_leader() && s.value.leader() == c;
+        },
+        "omega");
+    if (result.ok) return CheckResult::pass();
+  }
+  return CheckResult::fail(
+      "omega: no correct process is the eventual unanimous leader");
+}
+
+CheckResult check_sigma(const RecordedHistory& h, const FailurePattern& fp) {
+  for (const Sample& s : h.samples()) {
+    if (!s.value.has_quorum()) {
+      return CheckResult::fail("sigma: sample without a quorum component");
+    }
+  }
+  const auto inter = pairwise_intersection(
+      unique_quorums(h, ProcessSet::full(fp.n())), "sigma intersection");
+  if (!inter.ok) return inter;
+  return quorum_completeness(h, fp);
+}
+
+CheckResult check_sigma_nu(const RecordedHistory& h,
+                           const FailurePattern& fp) {
+  for (const Sample& s : h.samples()) {
+    if (!s.value.has_quorum()) {
+      return CheckResult::fail("sigma_nu: sample without a quorum component");
+    }
+  }
+  const auto inter = pairwise_intersection(
+      unique_quorums(h, fp.correct()), "sigma_nu intersection");
+  if (!inter.ok) return inter;
+  return quorum_completeness(h, fp);
+}
+
+CheckResult check_sigma_nu_plus(const RecordedHistory& h,
+                                const FailurePattern& fp) {
+  const auto base = check_sigma_nu(h, fp);
+  if (!base.ok) return base;
+
+  for (const Sample& s : h.samples()) {
+    if (!s.value.quorum().contains(s.p)) {
+      return CheckResult::fail("sigma_nu_plus self-inclusion: sample of " +
+                               std::to_string(s.p) + " outputs " +
+                               s.value.quorum().to_string());
+    }
+  }
+
+  // Conditional nonintersection: a quorum disjoint from some correct
+  // process's quorum must contain only faulty processes.
+  const auto correct_quorums = unique_quorums(h, fp.correct());
+  const auto all_quorums = unique_quorums(h, ProcessSet::full(fp.n()));
+  const ProcessSet faulty = fp.faulty();
+  for (ProcessSet q : all_quorums) {
+    for (ProcessSet p : correct_quorums) {
+      if (!q.intersects(p) && !q.is_subset_of(faulty)) {
+        return CheckResult::fail(
+            "sigma_nu_plus conditional nonintersection: quorum " +
+            q.to_string() + " misses correct quorum " + p.to_string() +
+            " but contains a correct process");
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+namespace {
+
+CheckResult suspects_completeness(const RecordedHistory& h,
+                                  const FailurePattern& fp) {
+  const ProcessSet faulty = fp.faulty();
+  return eventually_all_correct(
+      h, fp,
+      [faulty](const Sample& s) {
+        return s.value.has_suspects() &&
+               faulty.is_subset_of(s.value.suspects());
+      },
+      "strong completeness");
+}
+
+}  // namespace
+
+CheckResult check_perfect(const RecordedHistory& h,
+                          const FailurePattern& fp) {
+  for (const Sample& s : h.samples()) {
+    if (!s.value.has_suspects()) {
+      return CheckResult::fail("perfect: sample without suspects component");
+    }
+    if (!s.value.suspects().is_subset_of(fp.crashed_at(s.t))) {
+      return CheckResult::fail(
+          "strong accuracy: suspects " + s.value.suspects().to_string() +
+          " at (" + std::to_string(s.p) + ", t=" + std::to_string(s.t) +
+          ") include a process not yet crashed");
+    }
+  }
+  return suspects_completeness(h, fp);
+}
+
+CheckResult check_evt_perfect(const RecordedHistory& h,
+                              const FailurePattern& fp) {
+  const auto comp = suspects_completeness(h, fp);
+  if (!comp.ok) return comp;
+  const ProcessSet correct = fp.correct();
+  return eventually_all_correct(
+      h, fp,
+      [correct](const Sample& s) {
+        return s.value.has_suspects() &&
+               !s.value.suspects().intersects(correct);
+      },
+      "eventual strong accuracy");
+}
+
+CheckResult check_strong(const RecordedHistory& h, const FailurePattern& fp) {
+  const auto comp = suspects_completeness(h, fp);
+  if (!comp.ok) return comp;
+  ProcessSet ever_suspected;
+  for (const Sample& s : h.samples()) {
+    if (s.value.has_suspects()) ever_suspected |= s.value.suspects();
+  }
+  if ((fp.correct() - ever_suspected).empty()) {
+    return CheckResult::fail(
+        "weak accuracy: every correct process was suspected at some point");
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_evt_strong(const RecordedHistory& h,
+                             const FailurePattern& fp) {
+  const auto comp = suspects_completeness(h, fp);
+  if (!comp.ok) return comp;
+  for (Pid c : fp.correct()) {
+    const auto result = eventually_all_correct(
+        h, fp,
+        [c](const Sample& s) {
+          return s.value.has_suspects() && !s.value.suspects().contains(c);
+        },
+        "eventual weak accuracy");
+    if (result.ok) return CheckResult::pass();
+  }
+  return CheckResult::fail(
+      "eventual weak accuracy: no correct process stops being suspected");
+}
+
+}  // namespace nucon

@@ -1,0 +1,99 @@
+// Recorded failure-detector histories and per-class property checkers.
+//
+// A RecordedHistory is the finite fragment of some H : Pi x N -> R that an
+// execution actually observed (either by sampling an oracle, or the history
+// O_R of the output variables of a transformation algorithm, §2.9). The
+// check_* functions decide membership of that fragment in each detector
+// class. "Eventually" clauses are checked in their natural finite form:
+// there is a sample time t in the record such that the clause holds for
+// every sample after t AND every correct process has at least one sample
+// after t (so the check is never vacuously true).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/failure_pattern.hpp"
+#include "sim/run.hpp"
+#include "util/fd_value.hpp"
+
+namespace nucon {
+
+struct Sample {
+  Pid p = -1;
+  Time t = 0;
+  FdValue value;
+};
+
+class RecordedHistory {
+ public:
+  void add(Pid p, Time t, FdValue value) { samples_.push_back({p, t, value}); }
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Samples of process p, in record order (record order is time order for
+  /// histories captured from a run).
+  [[nodiscard]] std::vector<Sample> of(Pid p) const;
+
+  /// The FD values seen in the steps of a recorded run.
+  [[nodiscard]] static RecordedHistory from_run(const Run& run);
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Result of a property check; `ok` with an empty detail, or a
+/// human-readable description of the first violation found.
+struct CheckResult {
+  bool ok = true;
+  std::string detail;
+
+  static CheckResult pass() { return {}; }
+  static CheckResult fail(std::string why) { return {false, std::move(why)}; }
+};
+
+// --- Leader detector Omega (§3.1) ------------------------------------------
+// There is a correct process c and a time after which every correct
+// process's samples output c.
+[[nodiscard]] CheckResult check_omega(const RecordedHistory& h,
+                                      const FailurePattern& fp);
+
+// --- Quorum detectors (§3.2, §3.3, §6.1) ------------------------------------
+
+/// Sigma: intersection (all samples, all processes) + completeness.
+[[nodiscard]] CheckResult check_sigma(const RecordedHistory& h,
+                                      const FailurePattern& fp);
+
+/// Sigma^nu: intersection restricted to samples of correct processes +
+/// completeness.
+[[nodiscard]] CheckResult check_sigma_nu(const RecordedHistory& h,
+                                         const FailurePattern& fp);
+
+/// Sigma^nu+: Sigma^nu + self-inclusion + conditional nonintersection.
+[[nodiscard]] CheckResult check_sigma_nu_plus(const RecordedHistory& h,
+                                              const FailurePattern& fp);
+
+// --- Classic suspect-list detectors (Chandra-Toueg) -------------------------
+
+/// Perfect detector P: strong completeness + strong accuracy (no process is
+/// suspected before it crashes: suspects at (p,t) are within F(t)).
+[[nodiscard]] CheckResult check_perfect(const RecordedHistory& h,
+                                        const FailurePattern& fp);
+
+/// Eventually perfect <>P: strong completeness + eventual strong accuracy.
+[[nodiscard]] CheckResult check_evt_perfect(const RecordedHistory& h,
+                                            const FailurePattern& fp);
+
+/// Strong S: strong completeness + weak accuracy (some correct process is
+/// never suspected in any sample).
+[[nodiscard]] CheckResult check_strong(const RecordedHistory& h,
+                                       const FailurePattern& fp);
+
+/// Eventually strong <>S: strong completeness + eventual weak accuracy.
+[[nodiscard]] CheckResult check_evt_strong(const RecordedHistory& h,
+                                           const FailurePattern& fp);
+
+}  // namespace nucon

@@ -1,0 +1,29 @@
+#include "fd/omega.hpp"
+
+#include <cassert>
+
+#include "fd/oracle_base.hpp"
+
+namespace nucon {
+
+OmegaOracle::OmegaOracle(const FailurePattern& fp, OmegaOptions opts)
+    : fp_(fp), opts_(opts), leader_(opts.leader) {
+  if (leader_ < 0) {
+    // Default eventual leader: the smallest correct process. A system with
+    // no correct process has no Omega obligation; fall back to 0.
+    leader_ = fp_.correct().empty() ? 0 : fp_.correct().min();
+  }
+  assert(fp_.correct().empty() || fp_.is_correct(leader_));
+}
+
+FdValue OmegaOracle::value(Pid p, Time t) {
+  if (t >= opts_.stabilize_at) return FdValue::of_leader(leader_);
+  if (opts_.warmup_leader >= 0) return FdValue::of_leader(opts_.warmup_leader);
+  // Pre-stabilization: an arbitrary process, possibly faulty, possibly
+  // different at every module and every step.
+  const Pid noisy = static_cast<Pid>(oracle_mix(opts_.seed, p, t) %
+                                     static_cast<std::uint64_t>(fp_.n()));
+  return FdValue::of_leader(noisy);
+}
+
+}  // namespace nucon

@@ -1,0 +1,40 @@
+// The leader failure detector Omega (paper §3.1).
+//
+// Outputs one process id per module; there is a time after which every
+// correct process's module outputs the same correct process. Before the
+// configurable stabilization time the oracle outputs arbitrary (noisy)
+// leaders, which is the adversarial slack the definition permits.
+#pragma once
+
+#include "fd/failure_detector.hpp"
+
+namespace nucon {
+
+struct OmegaOptions {
+  /// Global time at which all modules lock onto the eventual leader.
+  Time stabilize_at = 0;
+  /// The eventual leader; must be correct. -1 selects the smallest correct
+  /// process id.
+  Pid leader = -1;
+  /// Pre-stabilization behavior: -1 means arbitrary noise; any pid fixes
+  /// the warmup output at every module (the adversarial choice behind the
+  /// §6.3 contamination scenario is a *faulty* warmup leader).
+  Pid warmup_leader = -1;
+  std::uint64_t seed = 0x00e6a0ull;
+};
+
+class OmegaOracle final : public Oracle {
+ public:
+  OmegaOracle(const FailurePattern& fp, OmegaOptions opts);
+
+  [[nodiscard]] FdValue value(Pid p, Time t) override;
+
+  [[nodiscard]] Pid eventual_leader() const { return leader_; }
+
+ private:
+  const FailurePattern& fp_;
+  OmegaOptions opts_;
+  Pid leader_;
+};
+
+}  // namespace nucon

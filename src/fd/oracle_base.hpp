@@ -1,0 +1,36 @@
+// Shared helpers for concrete oracles.
+#pragma once
+
+#include "fd/failure_detector.hpp"
+#include "util/rng.hpp"
+
+namespace nucon {
+
+/// Deterministic stateless noise: the same (seed, p, t, salt) always mixes
+/// to the same word, so oracles can answer value(p, t) without memoizing
+/// while still being proper (single-valued) histories.
+[[nodiscard]] constexpr std::uint64_t oracle_mix(std::uint64_t seed, Pid p,
+                                                 Time t,
+                                                 std::uint64_t salt = 0) {
+  std::uint64_t s = seed ^ (static_cast<std::uint64_t>(p) * 0x9e3779b97f4a7c15ULL) ^
+                    (static_cast<std::uint64_t>(t) * 0xbf58476d1ce4e5b9ULL) ^
+                    (salt * 0x94d049bb133111ebULL);
+  return splitmix64(s);
+}
+
+/// A deterministic pseudo-random subset of `universe` that always includes
+/// `always`, sized between |always| and |universe|.
+[[nodiscard]] inline ProcessSet noisy_superset(ProcessSet always,
+                                               ProcessSet universe,
+                                               std::uint64_t mix) {
+  Rng rng(mix);
+  const ProcessSet extras = universe - always;
+  ProcessSet out = always;
+  if (!extras.empty()) {
+    const int k = static_cast<int>(rng.below(static_cast<std::uint64_t>(extras.size()) + 1));
+    out |= rng.pick_subset(extras, k);
+  }
+  return out;
+}
+
+}  // namespace nucon

@@ -1,0 +1,22 @@
+#include "fd/reductions.hpp"
+
+namespace nucon {
+
+void EvtPerfectToOmega::step(const Incoming* in, const FdValue& d,
+                             std::vector<Outgoing>& out) {
+  (void)in;
+  (void)out;
+  if (!d.has_suspects()) return;
+  const ProcessSet trusted = ProcessSet::full(n_) - d.suspects();
+  output_ = trusted.empty() ? self_ : trusted.min();
+}
+
+AutomatonFactory make_identity_emulation() {
+  return [](Pid) { return std::make_unique<IdentityEmulation>(); };
+}
+
+AutomatonFactory make_evt_perfect_to_omega(Pid n) {
+  return [n](Pid p) { return std::make_unique<EvtPerfectToOmega>(p, n); };
+}
+
+}  // namespace nucon

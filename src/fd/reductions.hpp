@@ -1,0 +1,67 @@
+// Classic local reductions between failure-detector classes (§2.9's
+// "weaker than" relation, made executable).
+//
+// The library's headline transformations (Figs. 2 and 3) live in core/;
+// this module collects the textbook local reductions that position the
+// detector classes relative to each other:
+//
+//   P  -> <>P -> <>S      (identity: every P history is already in <>P...)
+//   P  ->  S               (identity)
+//   Sigma -> Sigma^nu      (identity: the nonuniform spec is weaker)
+//   <>P -> Omega           (trust the smallest currently-unsuspected
+//                           process; after <>P stabilizes, that is the
+//                           smallest correct process at every module)
+//
+// Identity reductions are witnessed by IdentityEmulation, which re-emits
+// the sampled value as its output; the tests then check the emitted
+// history against the *target* class's checker, which is exactly the
+// D' <= D statement. The <>P -> Omega reduction needs actual computation
+// but no communication.
+#pragma once
+
+#include "core/emulated.hpp"
+#include "sim/automaton.hpp"
+
+namespace nucon {
+
+/// Emits the sampled detector value unchanged: witnesses every reduction
+/// where the source class's histories already satisfy the target spec.
+class IdentityEmulation final : public Automaton, public EmulatedFd {
+ public:
+  void step(const Incoming* in, const FdValue& d,
+            std::vector<Outgoing>& out) override {
+    (void)in;
+    (void)out;
+    output_ = d;
+  }
+
+  [[nodiscard]] FdValue emulated_output() const override { return output_; }
+
+ private:
+  FdValue output_;
+};
+
+/// T_{<>P -> Omega}: outputs the smallest process not currently suspected
+/// (falling back to self if everything is suspected, which can only happen
+/// before stabilization).
+class EvtPerfectToOmega final : public Automaton, public EmulatedFd {
+ public:
+  EvtPerfectToOmega(Pid self, Pid n) : self_(self), n_(n), output_(self) {}
+
+  void step(const Incoming* in, const FdValue& d,
+            std::vector<Outgoing>& out) override;
+
+  [[nodiscard]] FdValue emulated_output() const override {
+    return FdValue::of_leader(output_);
+  }
+
+ private:
+  Pid self_;
+  Pid n_;
+  Pid output_;
+};
+
+[[nodiscard]] AutomatonFactory make_identity_emulation();
+[[nodiscard]] AutomatonFactory make_evt_perfect_to_omega(Pid n);
+
+}  // namespace nucon

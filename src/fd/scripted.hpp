@@ -1,0 +1,26 @@
+// A fully scripted failure detector: the test or scenario supplies H
+// directly as a function of (p, t). Used to reconstruct the paper's
+// hand-crafted histories (the §6.3 contamination scenario, the Theorem 7.1
+// partition runs) exactly, rather than relying on randomized oracles.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "fd/failure_detector.hpp"
+
+namespace nucon {
+
+class ScriptedOracle final : public Oracle {
+ public:
+  using Script = std::function<FdValue(Pid p, Time t)>;
+
+  explicit ScriptedOracle(Script script) : script_(std::move(script)) {}
+
+  [[nodiscard]] FdValue value(Pid p, Time t) override { return script_(p, t); }
+
+ private:
+  Script script_;
+};
+
+}  // namespace nucon

@@ -1,0 +1,45 @@
+#include "fd/sigma.hpp"
+
+#include <cassert>
+
+#include <algorithm>
+
+#include "fd/oracle_base.hpp"
+
+namespace nucon {
+
+SigmaOracle::SigmaOracle(const FailurePattern& fp, SigmaOptions opts)
+    : fp_(fp), opts_(opts) {
+  const ProcessSet correct = fp_.correct();
+  kernel_ = correct.empty() ? 0 : correct.min();
+  if (opts_.strategy == SigmaStrategy::kMajority) {
+    // Majority quorums can satisfy completeness only if a majority is
+    // correct; the constructor enforces the precondition loudly.
+    assert(is_majority(correct, fp_.n()));
+  }
+}
+
+FdValue SigmaOracle::value(Pid p, Time t) {
+  const ProcessSet all = ProcessSet::full(fp_.n());
+  const ProcessSet correct = fp_.correct();
+  const bool stable = t >= opts_.stabilize_at;
+  const std::uint64_t mix =
+      oracle_mix(opts_.seed, p, t / std::max<Time>(1, opts_.hold), stable);
+
+  switch (opts_.strategy) {
+    case SigmaStrategy::kKernel: {
+      const ProcessSet universe = stable ? correct : all;
+      return FdValue::of_quorum(
+          noisy_superset(ProcessSet::single(kernel_), universe, mix));
+    }
+    case SigmaStrategy::kMajority: {
+      const ProcessSet universe = stable ? correct : all;
+      const int quorum_size = fp_.n() / 2 + 1;
+      Rng rng(mix);
+      return FdValue::of_quorum(rng.pick_subset(universe, quorum_size));
+    }
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace nucon

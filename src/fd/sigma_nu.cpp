@@ -1,0 +1,48 @@
+#include "fd/sigma_nu.hpp"
+
+#include <algorithm>
+
+#include "fd/oracle_base.hpp"
+
+namespace nucon {
+
+SigmaNuOracle::SigmaNuOracle(const FailurePattern& fp, SigmaNuOptions opts)
+    : fp_(fp), opts_(opts) {
+  const ProcessSet correct = fp_.correct();
+  kernel_ = correct.empty() ? 0 : correct.min();
+}
+
+FdValue SigmaNuOracle::value(Pid p, Time t) {
+  const ProcessSet all = ProcessSet::full(fp_.n());
+  const ProcessSet correct = fp_.correct();
+  const bool stable = t >= opts_.stabilize_at;
+  const std::uint64_t mix =
+      oracle_mix(opts_.seed, p, t / std::max<Time>(1, opts_.hold), stable);
+
+  if (fp_.is_correct(p) || opts_.faulty == FaultyQuorumBehavior::kBenign) {
+    // Correct modules: every quorum contains the correct kernel process, so
+    // correct quorums always pairwise intersect; after stabilization the
+    // noise is drawn from the correct processes only (completeness).
+    const ProcessSet universe = stable ? correct : all;
+    return FdValue::of_quorum(
+        noisy_superset(ProcessSet::single(kernel_), universe, mix));
+  }
+
+  switch (opts_.faulty) {
+    case FaultyQuorumBehavior::kAdversarialDisjoint:
+      // A faulty-only quorum around p itself: misses every stabilized
+      // correct quorum. Sigma^nu places no constraint on it.
+      return FdValue::of_quorum(
+          noisy_superset(ProcessSet::single(p), fp_.faulty(), mix));
+    case FaultyQuorumBehavior::kNoise: {
+      Rng rng(mix);
+      const int k = static_cast<int>(rng.below(static_cast<std::uint64_t>(fp_.n()) + 1));
+      return FdValue::of_quorum(rng.pick_subset(all, k));
+    }
+    case FaultyQuorumBehavior::kBenign:
+      break;  // handled above
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace nucon

@@ -1,0 +1,52 @@
+#include "reg/harness.hpp"
+
+#include "reg/abd.hpp"
+
+namespace nucon {
+
+RegisterRunResult run_register_workload(
+    const FailurePattern& fp, Oracle& oracle,
+    std::vector<std::vector<RegOp>> workloads, SchedulerOptions opts) {
+  opts.on_step = [](const StepRecord& rec,
+                    const std::vector<std::unique_ptr<Automaton>>& all) {
+    if (auto* reg = dynamic_cast<AbdRegister*>(
+            all[static_cast<std::size_t>(rec.p)].get())) {
+      reg->stamp_times(rec.t);
+    }
+  };
+  if (!opts.stop_when) {
+    opts.stop_when = [&fp](const std::vector<std::unique_ptr<Automaton>>& all) {
+      for (Pid p : fp.correct()) {
+        const auto* reg = dynamic_cast<const AbdRegister*>(
+            all[static_cast<std::size_t>(p)].get());
+        if (reg == nullptr || !reg->workload_done()) return false;
+      }
+      return true;
+    };
+  }
+
+  const SimResult sim =
+      simulate(fp, oracle, make_abd(fp.n(), std::move(workloads)), opts);
+
+  RegisterRunResult result;
+  result.records = collect_records(sim.automata);
+  result.verdict = check_register_atomicity(result.records);
+  result.all_correct_done = sim.stopped_by_predicate;
+  result.steps = sim.run.steps.size();
+  result.messages_sent = sim.messages_sent;
+  return result;
+}
+
+std::vector<std::vector<RegOp>> alternating_workloads(Pid n, int rounds) {
+  std::vector<std::vector<RegOp>> out(static_cast<std::size_t>(n));
+  for (Pid p = 0; p < n; ++p) {
+    for (int i = 0; i < rounds; ++i) {
+      out[static_cast<std::size_t>(p)].push_back(
+          {RegOp::Kind::kWrite, p * 1000 + i});
+      out[static_cast<std::size_t>(p)].push_back({RegOp::Kind::kRead, 0});
+    }
+  }
+  return out;
+}
+
+}  // namespace nucon

@@ -1,0 +1,29 @@
+// One-call harness for register workloads: runs the ABD automata under a
+// failure pattern and oracle, stamps operation times, collects records and
+// the atomicity verdict.
+#pragma once
+
+#include "fd/failure_detector.hpp"
+#include "reg/linearizability.hpp"
+#include "sim/scheduler.hpp"
+
+namespace nucon {
+
+struct RegisterRunResult {
+  std::vector<RegOpRecord> records;
+  AtomicityVerdict verdict;
+  bool all_correct_done = false;
+  std::size_t steps = 0;
+  std::size_t messages_sent = 0;
+};
+
+[[nodiscard]] RegisterRunResult run_register_workload(
+    const FailurePattern& fp, Oracle& oracle,
+    std::vector<std::vector<RegOp>> workloads, SchedulerOptions opts);
+
+/// A simple workload: each process alternates `rounds` times between
+/// writing a distinct value (client*1000 + i) and reading.
+[[nodiscard]] std::vector<std::vector<RegOp>> alternating_workloads(
+    Pid n, int rounds);
+
+}  // namespace nucon

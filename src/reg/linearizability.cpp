@@ -1,0 +1,88 @@
+#include "reg/linearizability.hpp"
+
+#include <algorithm>
+
+namespace nucon {
+namespace {
+
+std::string describe(const RegOpRecord& r) {
+  std::string out = r.kind == RegOp::Kind::kWrite ? "write(" : "read->";
+  out += std::to_string(r.value);
+  if (r.kind == RegOp::Kind::kWrite) out += ")";
+  out += " by " + std::to_string(r.client) + " tag(" +
+         std::to_string(r.tag.ts) + "," + std::to_string(r.tag.writer) +
+         ") [" + std::to_string(r.invoked_step) + "," +
+         std::to_string(r.responded_step) + "]";
+  return out;
+}
+
+constexpr RegTag kInitialTag{0, -1};
+
+}  // namespace
+
+AtomicityVerdict check_register_atomicity(
+    const std::vector<RegOpRecord>& records) {
+  AtomicityVerdict verdict;
+  const auto fail = [&verdict](std::string why) {
+    verdict.ok = false;
+    if (verdict.detail.empty()) verdict.detail = std::move(why);
+  };
+
+  // (1a) write tags are unique.
+  std::vector<const RegOpRecord*> writes;
+  for (const RegOpRecord& r : records) {
+    if (r.kind == RegOp::Kind::kWrite) writes.push_back(&r);
+  }
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    for (std::size_t j = i + 1; j < writes.size(); ++j) {
+      if (writes[i]->tag == writes[j]->tag) {
+        fail("duplicate write tag: " + describe(*writes[i]) + " vs " +
+             describe(*writes[j]));
+      }
+    }
+  }
+
+  // (1b) every read's tag matches a write with the same value, or the
+  // initial tag with the initial value 0.
+  for (const RegOpRecord& r : records) {
+    if (r.kind != RegOp::Kind::kRead) continue;
+    if (r.tag == kInitialTag) {
+      if (r.value != 0) {
+        fail("read of initial tag returned " + std::to_string(r.value));
+      }
+      continue;
+    }
+    const auto it = std::find_if(writes.begin(), writes.end(),
+                                 [&r](const RegOpRecord* w) {
+                                   return w->tag == r.tag;
+                                 });
+    if (it == writes.end()) {
+      fail("read returned a tag never written: " + describe(r));
+    } else if ((*it)->value != r.value) {
+      fail("read value does not match its tag's write: " + describe(r) +
+           " vs " + describe(**it));
+    }
+  }
+
+  // (2) real-time order respects tags.
+  for (const RegOpRecord& earlier : records) {
+    for (const RegOpRecord& later : records) {
+      if (earlier.responded_step >= later.invoked_step) continue;
+      if (later.kind == RegOp::Kind::kWrite) {
+        if (!(earlier.tag < later.tag)) {
+          fail("completed " + describe(earlier) +
+               " has a tag >= the later " + describe(later));
+        }
+      } else {
+        if (later.tag < earlier.tag) {
+          fail("stale read: " + describe(later) + " after " +
+               describe(earlier));
+        }
+      }
+    }
+  }
+
+  return verdict;
+}
+
+}  // namespace nucon

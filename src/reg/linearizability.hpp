@@ -1,0 +1,31 @@
+// Atomicity (linearizability) checking for the emulated register.
+//
+// ABD-style protocols carry their linearization witness in the (ts,
+// writer) tags: ordering operations by tag — each read placed after the
+// write that installed its tag — linearizes the history iff
+//   (1) every read's tag was installed by a matching write (or is the
+//       initial tag), and write tags are unique;
+//   (2) tags respect real time: an operation that responds before another
+//       is invoked never carries a larger tag than a later write, and a
+//       later read never returns a smaller tag.
+// The checker verifies exactly these conditions over the recorded
+// operations, so a stale read (the Sigma^nu failure mode) is reported with
+// the offending pair.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "reg/abd.hpp"
+
+namespace nucon {
+
+struct AtomicityVerdict {
+  bool ok = true;
+  std::string detail;
+};
+
+[[nodiscard]] AtomicityVerdict check_register_atomicity(
+    const std::vector<RegOpRecord>& records);
+
+}  // namespace nucon

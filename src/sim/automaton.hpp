@@ -1,0 +1,82 @@
+// The deterministic process automata of the paper's model (§2.4).
+//
+// One step is atomic and does exactly four things: receive a single message
+// (or the empty message lambda), query the local failure-detector module,
+// change state, and send messages. The interface below is that step; the
+// scheduler supplies the received message and the FD value, which are the
+// only nondeterministic inputs, so automata themselves are deterministic —
+// a recorded schedule replays to identical states.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/fd_value.hpp"
+#include "util/process_set.hpp"
+
+namespace nucon {
+
+/// A message handed to an automaton during a step.
+struct Incoming {
+  Pid from = -1;
+  const Bytes* payload = nullptr;
+};
+
+/// A message an automaton asks to send during a step.
+struct Outgoing {
+  Pid to = -1;
+  Bytes payload;
+};
+
+class Automaton {
+ public:
+  virtual ~Automaton() = default;
+
+  Automaton() = default;
+  Automaton(const Automaton&) = delete;
+  Automaton& operator=(const Automaton&) = delete;
+
+  /// One atomic step. `in` is nullptr for the empty message lambda.
+  /// Messages to send are appended to `out`.
+  virtual void step(const Incoming* in, const FdValue& d,
+                    std::vector<Outgoing>& out) = 0;
+
+  /// Full encoding of the local state, used by tests to compare
+  /// configurations (e.g. the Lemma 2.2 merging check). Optional; the
+  /// default marks the state as not comparable.
+  [[nodiscard]] virtual std::optional<Bytes> snapshot() const {
+    return std::nullopt;
+  }
+};
+
+/// Values proposed to / decided by consensus. int64 is general enough for
+/// the paper's binary consensus and for multivalued tests.
+using Value = std::int64_t;
+
+/// An automaton that participates in consensus: it is constructed proposing
+/// some value and may irrevocably decide.
+class ConsensusAutomaton : public Automaton {
+ public:
+  [[nodiscard]] virtual std::optional<Value> decision() const = 0;
+};
+
+/// Creates the automaton for process p in the initial configuration.
+using AutomatonFactory =
+    std::function<std::unique_ptr<Automaton>(Pid p)>;
+
+/// Creates a consensus automaton for process p proposing `proposal`.
+using ConsensusFactory = std::function<std::unique_ptr<ConsensusAutomaton>(
+    Pid p, Value proposal)>;
+
+/// Helper: broadcast `payload` to every process in [0, n), including the
+/// sender (a self-addressed message through the buffer models the paper's
+/// "send to all" convention).
+inline void broadcast(Pid n, const Bytes& payload, std::vector<Outgoing>& out) {
+  for (Pid q = 0; q < n; ++q) out.push_back({q, payload});
+}
+
+}  // namespace nucon

@@ -1,0 +1,75 @@
+#include "sim/failure_pattern.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nucon {
+
+FailurePattern::FailurePattern(Pid n)
+    : n_(n), crash_times_(static_cast<std::size_t>(n), kNeverCrashes) {
+  assert(n >= 1 && n <= kMaxProcesses);
+}
+
+FailurePattern::FailurePattern(Pid n, std::vector<Time> crash_times)
+    : n_(n), crash_times_(std::move(crash_times)) {
+  assert(n >= 1 && n <= kMaxProcesses);
+  assert(crash_times_.size() == static_cast<std::size_t>(n));
+  for (Pid p = 0; p < n_; ++p) {
+    const Time ct = crash_times_[static_cast<std::size_t>(p)];
+    assert(ct == kNeverCrashes || ct >= 0);
+    if (ct != kNeverCrashes) faulty_.insert(p);
+  }
+}
+
+ProcessSet FailurePattern::crashed_at(Time t) const {
+  ProcessSet out;
+  for (Pid p : faulty_) {
+    if (crash_times_[static_cast<std::size_t>(p)] <= t) out.insert(p);
+  }
+  return out;
+}
+
+Time FailurePattern::all_faulty_crashed_by() const {
+  Time latest = 0;
+  for (Pid p : faulty_) {
+    latest = std::max(latest, crash_times_[static_cast<std::size_t>(p)]);
+  }
+  return latest;
+}
+
+void FailurePattern::set_crash(Pid p, Time t) {
+  assert(p >= 0 && p < n_);
+  assert(t >= 0);
+  crash_times_[static_cast<std::size_t>(p)] = t;
+  faulty_.insert(p);
+}
+
+std::string FailurePattern::to_string() const {
+  std::string out = "F{n=" + std::to_string(n_);
+  for (Pid p : faulty_) {
+    out += ", " + std::to_string(p) + "@" +
+           std::to_string(crash_times_[static_cast<std::size_t>(p)]);
+  }
+  out += '}';
+  return out;
+}
+
+FailurePattern Environment::sample(Rng& rng, Pid faults,
+                                   Time latest_crash) const {
+  assert(faults >= 0 && faults <= max_faulty && faults < n);
+  FailurePattern fp(n);
+  const ProcessSet victims =
+      rng.pick_subset(ProcessSet::full(n), faults);
+  for (Pid p : victims) {
+    fp.set_crash(p, rng.range(0, latest_crash));
+  }
+  return fp;
+}
+
+FailurePattern Environment::sample(Rng& rng, Time latest_crash) const {
+  const Pid faults = static_cast<Pid>(
+      rng.range(0, std::min<Pid>(max_faulty, static_cast<Pid>(n - 1))));
+  return sample(rng, faults, latest_crash);
+}
+
+}  // namespace nucon

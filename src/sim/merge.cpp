@@ -1,0 +1,41 @@
+#include "sim/merge.hpp"
+
+namespace nucon {
+
+bool mergeable(const Run& r0, const Run& r1) {
+  return !r0.participants().intersects(r1.participants());
+}
+
+std::optional<Run> merge_runs(const Run& r0, const Run& r1,
+                              std::string* error) {
+  const auto fail = [&](std::string why) -> std::optional<Run> {
+    if (error != nullptr) *error = std::move(why);
+    return std::nullopt;
+  };
+
+  if (r0.fp.n() != r1.fp.n()) return fail("different system sizes");
+  for (Pid p = 0; p < r0.fp.n(); ++p) {
+    if (r0.fp.crash_time(p) != r1.fp.crash_time(p)) {
+      return fail("different failure patterns");
+    }
+  }
+  if (!mergeable(r0, r1)) return fail("participant sets intersect");
+
+  Run merged(r0.fp);
+  merged.steps.reserve(r0.steps.size() + r1.steps.size());
+
+  // Standard two-way merge by time; each input's internal order (and hence
+  // its causal structure) is preserved because its times are already
+  // nondecreasing.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < r0.steps.size() || j < r1.steps.size()) {
+    const bool take0 =
+        j == r1.steps.size() ||
+        (i < r0.steps.size() && r0.steps[i].t <= r1.steps[j].t);
+    merged.steps.push_back(take0 ? r0.steps[i++] : r1.steps[j++]);
+  }
+  return merged;
+}
+
+}  // namespace nucon

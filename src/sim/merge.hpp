@@ -1,0 +1,30 @@
+// Run merging (paper §2.10, Lemma 2.2).
+//
+// Two finite runs of the same algorithm under the same failure pattern and
+// FD history are mergeable when their participant sets are disjoint and the
+// algorithm has an initial configuration agreeing with both. A merging
+// interleaves their steps in nondecreasing time order; Lemma 2.2 says the
+// result is again a run and each participant ends in the same state as in
+// its original run. This is the engine of the paper's partition arguments
+// (Lemma 5.3, Theorem 7.1).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sim/run.hpp"
+
+namespace nucon {
+
+/// True iff the runs' participant sets are disjoint (condition (a) of
+/// mergeability; condition (b) — a compatible initial configuration — is
+/// the caller's obligation, discharged by the factory used to replay).
+[[nodiscard]] bool mergeable(const Run& r0, const Run& r1);
+
+/// Merges two mergeable runs recorded under the same failure pattern.
+/// Returns nullopt (with a reason in *error if non-null) when the inputs
+/// are not mergeable or were recorded under different patterns.
+[[nodiscard]] std::optional<Run> merge_runs(const Run& r0, const Run& r1,
+                                            std::string* error = nullptr);
+
+}  // namespace nucon

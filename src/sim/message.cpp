@@ -1,0 +1,46 @@
+#include "sim/message.hpp"
+
+#include <cassert>
+
+namespace nucon {
+
+void MessageBuffer::add(Message m) {
+  assert(m.to >= 0 && m.to < kMaxProcesses);
+  queues_[m.to].push_back(std::move(m));
+  ++total_;
+}
+
+std::size_t MessageBuffer::pending_for(Pid q) const {
+  assert(q >= 0 && q < kMaxProcesses);
+  return queues_[q].size();
+}
+
+const Message& MessageBuffer::peek(Pid q, std::size_t i) const {
+  assert(i < pending_for(q));
+  return queues_[q][i];
+}
+
+Message MessageBuffer::take(Pid q, std::size_t i) {
+  assert(i < pending_for(q));
+  Message m = std::move(queues_[q][i]);
+  queues_[q].erase(queues_[q].begin() + static_cast<std::ptrdiff_t>(i));
+  --total_;
+  return m;
+}
+
+std::optional<Message> MessageBuffer::take_by_id(Pid q, MsgId id) {
+  auto& queue = queues_[q];
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (queue[i].id == id) return take(q, i);
+  }
+  return std::nullopt;
+}
+
+std::optional<Time> MessageBuffer::oldest_sent_at(Pid q) const {
+  if (queues_[q].empty()) return std::nullopt;
+  Time oldest = queues_[q].front().sent_at;
+  for (const Message& m : queues_[q]) oldest = std::min(oldest, m.sent_at);
+  return oldest;
+}
+
+}  // namespace nucon

@@ -1,0 +1,66 @@
+// The message buffer M (paper §2.1).
+//
+// M is the multiset of (sender, payload, receiver) triples in flight.
+// Messages are identified by (sender, sender-sequence-number), which makes
+// every message unique (the paper assumes sender-side counters for the same
+// reason) and lets recorded schedules be replayed deterministically.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "sim/failure_pattern.hpp"
+#include "util/bytes.hpp"
+#include "util/process_set.hpp"
+
+namespace nucon {
+
+/// Identifies one message: the k-th message ever sent by `sender`
+/// (counting across all destinations, starting at 1).
+struct MsgId {
+  Pid sender = -1;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const MsgId&, const MsgId&) = default;
+};
+
+struct Message {
+  MsgId id;
+  Pid to = -1;
+  Bytes payload;
+  Time sent_at = 0;
+};
+
+/// In-flight messages, grouped per destination in send order. The
+/// scheduler decides which (if any) pending message a step receives; the
+/// buffer only tracks what is deliverable.
+class MessageBuffer {
+ public:
+  void add(Message m);
+
+  /// Number of messages pending for q.
+  [[nodiscard]] std::size_t pending_for(Pid q) const;
+
+  [[nodiscard]] std::size_t total_pending() const { return total_; }
+
+  /// The i-th oldest pending message for q (0-based); i < pending_for(q).
+  [[nodiscard]] const Message& peek(Pid q, std::size_t i) const;
+
+  /// Removes and returns the i-th oldest pending message for q.
+  [[nodiscard]] Message take(Pid q, std::size_t i);
+
+  /// Removes and returns the pending message for q with the given id, if
+  /// present (used when replaying recorded schedules).
+  [[nodiscard]] std::optional<Message> take_by_id(Pid q, MsgId id);
+
+  /// Oldest pending send time for q, if any (fairness bookkeeping).
+  [[nodiscard]] std::optional<Time> oldest_sent_at(Pid q) const;
+
+ private:
+  // One FIFO per destination; indexed by pid.
+  std::deque<Message> queues_[kMaxProcesses];
+  std::size_t total_ = 0;
+};
+
+}  // namespace nucon

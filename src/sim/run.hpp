@@ -1,0 +1,93 @@
+// Recorded runs, replay, and the run-property validator (paper §2.6).
+//
+// A run R = (F, H, I, S, T). We record F (the failure pattern), the
+// schedule S together with the times T (one StepRecord per step, carrying
+// the FD value seen — the fragment of H that the run actually observed),
+// and leave I implicit in the AutomatonFactory used to replay. Replay
+// re-executes the deterministic automata against the recorded inputs,
+// which both reconstructs every intermediate configuration and verifies
+// applicability (property (1)).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/automaton.hpp"
+#include "sim/failure_pattern.hpp"
+#include "sim/message.hpp"
+
+namespace nucon {
+
+struct StepRecord {
+  Pid p = -1;
+  /// The received message, or nullopt for the empty message lambda.
+  std::optional<MsgId> received;
+  FdValue d;
+  Time t = 0;
+};
+
+struct Run {
+  explicit Run(FailurePattern pattern) : fp(std::move(pattern)) {}
+
+  FailurePattern fp;
+  std::vector<StepRecord> steps;
+
+  [[nodiscard]] ProcessSet participants() const {
+    ProcessSet out;
+    for (const StepRecord& s : steps) out.insert(s.p);
+    return out;
+  }
+};
+
+/// The result of replaying a run against an algorithm.
+struct ReplayOutcome {
+  bool ok = false;
+  std::string error;  // empty when ok
+
+  /// Final automaton states (index = pid); populated even on failure for
+  /// the prefix that replayed.
+  std::vector<std::unique_ptr<Automaton>> automata;
+
+  /// Messages still in flight at the end of the schedule.
+  MessageBuffer leftover;
+
+  std::size_t messages_sent = 0;
+  std::size_t bytes_sent = 0;
+};
+
+/// Replays `run` from the initial configuration given by `make`. Fails if
+/// the schedule is not applicable (a step receives a message that is not in
+/// the buffer at that point).
+[[nodiscard]] ReplayOutcome replay(const Run& run, Pid n,
+                                   const AutomatonFactory& make);
+
+/// Checks the structural run properties of §2.6 that do not need replay:
+///   (3) no process steps after it crashed,
+///   (4) times are nondecreasing,
+///   (5') each process's own step times strictly increase (per-process
+///        causality; cross-process message causality is checked by
+///        `replay`, which rejects receiving before sending).
+/// Returns a human-readable violation, or nullopt if all hold.
+[[nodiscard]] std::optional<std::string> check_run_structure(const Run& run);
+
+/// Admissibility residue for a finite prefix of an (infinite) admissible
+/// run: how many messages addressed to correct processes are still
+/// undelivered, and how many steps each correct process took. The paper's
+/// properties (6)-(7) quantify over infinite runs; tests assert that with
+/// a fair scheduler the residue stays bounded and step counts grow.
+struct AdmissibilityStats {
+  std::vector<std::int64_t> steps_by_process;
+  std::size_t undelivered_to_correct = 0;
+};
+
+[[nodiscard]] AdmissibilityStats admissibility_stats(const Run& run, Pid n,
+                                                     const ReplayOutcome& outcome);
+
+/// Extracts decisions from consensus automata (index = pid; nullopt where
+/// the automaton is not a ConsensusAutomaton or has not decided).
+[[nodiscard]] std::vector<std::optional<Value>> decisions_of(
+    const std::vector<std::unique_ptr<Automaton>>& automata);
+
+}  // namespace nucon

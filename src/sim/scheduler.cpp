@@ -1,0 +1,157 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace nucon {
+namespace {
+
+/// Picks which message (index into the pending queue of p), if any, the
+/// next step of p receives.
+std::optional<std::size_t> choose_delivery(const MessageBuffer& buffer, Pid p,
+                                           Time now,
+                                           const SchedulerOptions& opts,
+                                           Rng& rng) {
+  const std::size_t pending = buffer.pending_for(p);
+  if (pending == 0) return std::nullopt;
+
+  // Fairness backstop (admissibility property (7)): stale messages are
+  // delivered oldest-first no matter what the random policy says.
+  const auto oldest = buffer.oldest_sent_at(p);
+  if (oldest && now - *oldest > opts.max_message_age) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending; ++i) {
+      if (buffer.peek(p, i).sent_at < buffer.peek(p, best).sent_at) best = i;
+    }
+    return best;
+  }
+
+  if (rng.chance(static_cast<std::uint64_t>(opts.lambda_percent), 100)) {
+    return std::nullopt;
+  }
+  if (rng.chance(static_cast<std::uint64_t>(opts.shuffle_percent), 100)) {
+    return rng.below(pending);
+  }
+  return 0;  // oldest in FIFO order
+}
+
+}  // namespace
+
+SimResult simulate(const FailurePattern& fp, Oracle& oracle,
+                   const AutomatonFactory& make,
+                   const SchedulerOptions& opts) {
+  const Pid n = fp.n();
+  SimResult result(fp);
+  result.automata.reserve(static_cast<std::size_t>(n));
+  for (Pid p = 0; p < n; ++p) result.automata.push_back(make(p));
+
+  Rng rng(opts.seed);
+  MessageBuffer buffer;
+  std::vector<std::uint64_t> send_seq(static_cast<std::size_t>(n), 0);
+
+  const ProcessSet schedulable = opts.restrict_to.empty()
+                                     ? ProcessSet::full(n)
+                                     : opts.restrict_to;
+
+  Time now = 0;
+  std::int64_t steps_taken = 0;
+  std::vector<Pid> order;
+  std::vector<Outgoing> sends;
+
+  while (steps_taken < opts.max_steps) {
+    // One macro round: every process that is alive when its turn comes
+    // takes exactly one step, in a fresh random order. This yields
+    // property (6): correct processes take infinitely many steps.
+    order.clear();
+    for (Pid p : schedulable) order.push_back(p);
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+
+    bool anyone_stepped = false;
+    for (Pid p : order) {
+      ++now;
+      if (!fp.alive_at(p, now)) continue;
+      anyone_stepped = true;
+
+      const auto delivery = choose_delivery(buffer, p, now, opts, rng);
+      std::optional<Message> msg;
+      if (delivery) msg = buffer.take(p, *delivery);
+
+      const FdValue d = oracle.value(p, now);
+
+      StepRecord rec;
+      rec.p = p;
+      rec.d = d;
+      rec.t = now;
+      if (msg) rec.received = msg->id;
+      result.run.steps.push_back(rec);
+
+      sends.clear();
+      if (msg) {
+        const Incoming in{msg->id.sender, &msg->payload};
+        result.automata[static_cast<std::size_t>(p)]->step(&in, d, sends);
+      } else {
+        result.automata[static_cast<std::size_t>(p)]->step(nullptr, d, sends);
+      }
+
+      for (Outgoing& o : sends) {
+        assert(o.to >= 0 && o.to < n);
+        Message m;
+        m.id = MsgId{p, ++send_seq[static_cast<std::size_t>(p)]};
+        m.to = o.to;
+        m.sent_at = now;
+        m.payload = std::move(o.payload);
+        result.bytes_sent += m.payload.size();
+        ++result.messages_sent;
+        buffer.add(std::move(m));
+      }
+
+      if (opts.on_step) opts.on_step(rec, result.automata);
+
+      if (++steps_taken >= opts.max_steps) break;
+    }
+
+    if (opts.stop_when && opts.stop_when(result.automata)) {
+      result.stopped_by_predicate = true;
+      break;
+    }
+    // All schedulable processes crashed: nothing further can happen.
+    if (!anyone_stepped) break;
+  }
+
+  result.end_time = now;
+  result.undelivered_at_end = buffer.total_pending();
+  return result;
+}
+
+SimResult simulate_consensus(const FailurePattern& fp, Oracle& oracle,
+                             const ConsensusFactory& make,
+                             const std::vector<Value>& proposals,
+                             SchedulerOptions opts) {
+  assert(proposals.size() == static_cast<std::size_t>(fp.n()));
+  if (!opts.stop_when) {
+    opts.stop_when = [&fp](const std::vector<std::unique_ptr<Automaton>>& a) {
+      return all_correct_decided(fp, a);
+    };
+  }
+  const AutomatonFactory factory = [&make, &proposals](Pid p) {
+    return make(p, proposals[static_cast<std::size_t>(p)]);
+  };
+  return simulate(fp, oracle, factory, opts);
+}
+
+bool all_correct_decided(
+    const FailurePattern& fp,
+    const std::vector<std::unique_ptr<Automaton>>& automata) {
+  for (Pid p : fp.correct()) {
+    const auto* c =
+        dynamic_cast<const ConsensusAutomaton*>(automata[static_cast<std::size_t>(p)].get());
+    if (c == nullptr || !c->decision()) return false;
+  }
+  return true;
+}
+
+}  // namespace nucon

@@ -1,0 +1,86 @@
+// The admissible-run executor.
+//
+// Drives a set of automata under a failure pattern and a failure-detector
+// oracle, producing a recorded Run. All nondeterminism — step interleaving,
+// which pending message (if any) a step receives — comes from a seeded Rng,
+// and the policies guarantee the admissibility properties of §2.6 in the
+// limit: every live process is scheduled once per "macro round" in a random
+// order (property (6)), and a fairness backstop force-delivers any message
+// that has been pending too long (property (7)).
+#pragma once
+
+#include <functional>
+
+#include "fd/failure_detector.hpp"
+#include "sim/run.hpp"
+
+namespace nucon {
+
+struct SchedulerOptions {
+  std::uint64_t seed = 1;
+
+  /// Hard cap on total steps; the run is cut off here if no stop predicate
+  /// fires first.
+  std::int64_t max_steps = 200'000;
+
+  /// Percent of steps that receive lambda even though messages are pending
+  /// (models arbitrary delivery delay).
+  int lambda_percent = 20;
+
+  /// Percent of receiving steps that take a random pending message rather
+  /// than the oldest (models reordering).
+  int shuffle_percent = 30;
+
+  /// Fairness backstop: once the oldest message pending for the stepping
+  /// process is older than this many ticks, it is delivered unconditionally.
+  Time max_message_age = 64;
+
+  /// If nonempty, only these processes are scheduled. Used to produce the
+  /// finite partial runs of the partition argument and the Lemma 2.2
+  /// merging tests; such runs are not admissible (and need not be).
+  ProcessSet restrict_to;
+
+  /// Optional early stop, checked after every macro round.
+  std::function<bool(const std::vector<std::unique_ptr<Automaton>>&)> stop_when;
+
+  /// Optional observer invoked after every step with the recorded step and
+  /// the automata. Used e.g. to sample the emulated output variables of
+  /// transformation algorithms into a RecordedHistory.
+  std::function<void(const StepRecord&,
+                     const std::vector<std::unique_ptr<Automaton>>&)>
+      on_step;
+};
+
+struct SimResult {
+  explicit SimResult(FailurePattern fp) : run(std::move(fp)) {}
+
+  Run run;
+  std::vector<std::unique_ptr<Automaton>> automata;
+
+  Time end_time = 0;
+  bool stopped_by_predicate = false;
+  std::size_t messages_sent = 0;
+  std::size_t bytes_sent = 0;
+  std::size_t undelivered_at_end = 0;
+};
+
+/// Executes up to opts.max_steps steps of the algorithm given by `make`
+/// under failure pattern `fp`, reading FD values from `oracle`.
+[[nodiscard]] SimResult simulate(const FailurePattern& fp, Oracle& oracle,
+                                 const AutomatonFactory& make,
+                                 const SchedulerOptions& opts);
+
+/// Convenience wrapper for consensus algorithms: builds the factory from a
+/// ConsensusFactory plus per-process proposals.
+[[nodiscard]] SimResult simulate_consensus(const FailurePattern& fp,
+                                           Oracle& oracle,
+                                           const ConsensusFactory& make,
+                                           const std::vector<Value>& proposals,
+                                           SchedulerOptions opts);
+
+/// True when every correct process (per fp) has decided.
+[[nodiscard]] bool all_correct_decided(
+    const FailurePattern& fp,
+    const std::vector<std::unique_ptr<Automaton>>& automata);
+
+}  // namespace nucon

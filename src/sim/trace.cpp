@@ -1,0 +1,43 @@
+#include "sim/trace.hpp"
+
+namespace nucon {
+namespace {
+
+std::string render_step(const StepRecord& s, bool show_fd) {
+  std::string line = "  t=" + std::to_string(s.t) + "  p" + std::to_string(s.p);
+  if (s.received) {
+    line += "  recv(" + std::to_string(s.received->sender) + "#" +
+            std::to_string(s.received->seq) + ")";
+  } else {
+    line += "  recv(lambda)";
+  }
+  if (show_fd) line += "  fd=" + s.d.to_string();
+  return line + "\n";
+}
+
+}  // namespace
+
+std::string render_trace(const Run& run, const TraceOptions& opts) {
+  std::string out = "run: " + run.fp.to_string() + ", " +
+                    std::to_string(run.steps.size()) + " steps, participants " +
+                    run.participants().to_string() + "\n";
+
+  const std::size_t total = run.steps.size();
+  if (opts.max_steps == 0 || total <= opts.max_steps) {
+    for (const StepRecord& s : run.steps) out += render_step(s, opts.show_fd);
+    return out;
+  }
+
+  const std::size_t head = opts.max_steps / 2;
+  const std::size_t tail = opts.max_steps - head;
+  for (std::size_t i = 0; i < head; ++i) {
+    out += render_step(run.steps[i], opts.show_fd);
+  }
+  out += "  ... (" + std::to_string(total - head - tail) + " steps elided)\n";
+  for (std::size_t i = total - tail; i < total; ++i) {
+    out += render_step(run.steps[i], opts.show_fd);
+  }
+  return out;
+}
+
+}  // namespace nucon

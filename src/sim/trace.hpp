@@ -1,0 +1,24 @@
+// Human-readable rendering of recorded runs, for debugging and the
+// nucon_explore CLI.
+#pragma once
+
+#include <string>
+
+#include "sim/run.hpp"
+
+namespace nucon {
+
+struct TraceOptions {
+  /// Render at most this many steps (0 = all); when truncating, the head
+  /// and tail are shown.
+  std::size_t max_steps = 120;
+  /// Include the failure-detector value seen in each step.
+  bool show_fd = true;
+};
+
+/// One line per step: time, process, received message (or lambda), and the
+/// detector value, plus a header describing the failure pattern.
+[[nodiscard]] std::string render_trace(const Run& run,
+                                       const TraceOptions& opts = {});
+
+}  // namespace nucon

@@ -1,0 +1,124 @@
+// Replicated state machine: a totally ordered command log built from a
+// sequence of consensus instances — the canonical downstream use of the
+// consensus primitive this library reproduces.
+//
+// Each process submits its own stream of commands and broadcasts it once
+// (client-request dissemination); every replica keeps a pool of known
+// commands. Consensus instances run sequentially: in instance k every
+// process proposes the smallest known command that is not yet in its log
+// (so a stable leader proposes everyone's commands, not only its own);
+// the instance's decision is appended to the log. Instance messages are
+// framed with the instance id and the inner consensus automata are
+// created lazily per instance, so any ConsensusFactory from this library
+// can serve as the ordering engine.
+//
+// Laggard handling is where uniformity bites, and the library implements
+// both disciplines:
+//
+//  * trust_decided_catchup = true (for UNIFORM engines): a replica that
+//    decides instance k broadcasts DECIDED(k, v); laggards adopt it
+//    directly. Sound only because uniform agreement lets any replica's
+//    decision be trusted.
+//  * trust_decided_catchup = false (required for NONUNIFORM engines): a
+//    faulty-but-alive replica's DECIDED may be wrong, so laggards must
+//    not adopt it. Instead, finished instances are retired but kept
+//    alive event-driven (stepped only when a message for them arrives),
+//    so a laggard completes every instance through its own engine.
+//    Bolting the uniform-style catch-up onto a nonuniform engine lets
+//    contamination reach CORRECT replicas' logs — the E15 experiment
+//    demonstrates it — which is the paper's uniform/nonuniform gap
+//    resurfacing one abstraction layer up.
+//
+// The paper-relevant contrast: with a UNIFORM engine (MR over Sigma) all
+// logs — including those of processes that later crash — are pairwise
+// prefix-consistent, so clients may trust any replica's answers. With a
+// NONUNIFORM engine (A_nuc over Sigma^nu+), only correct replicas' logs
+// must agree: a faulty-but-alive replica can commit a divergent entry,
+// which check_logs() reports as a (legal!) nonuniform divergence. That is
+// exactly why "which consensus does my SMR need" is the uniform/nonuniform
+// question.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "sim/automaton.hpp"
+#include "sim/failure_pattern.hpp"
+
+namespace nucon {
+
+class ReplicatedLog final : public Automaton {
+ public:
+  /// `commands`: this process's submission stream (must be unique across
+  /// processes; use make_command). `engine`: the consensus factory used
+  /// for every instance. Set `trust_decided_catchup` false when the
+  /// engine is only nonuniform (see the header comment).
+  ReplicatedLog(Pid self, Pid n, std::vector<Value> commands,
+                ConsensusFactory engine, bool trust_decided_catchup = true);
+
+  void step(const Incoming* in, const FdValue& d,
+            std::vector<Outgoing>& out) override;
+
+  [[nodiscard]] const std::vector<Value>& log() const { return log_; }
+  [[nodiscard]] bool all_submitted_committed() const;
+  [[nodiscard]] bool has_committed(Value v) const {
+    return committed_.contains(v);
+  }
+  [[nodiscard]] int instance() const { return instance_; }
+
+ private:
+  void open_instance(std::vector<Outgoing>& out);
+  void append_decision(Value v);
+  void commit(Value v, std::vector<Outgoing>& out);
+  /// Runs one step of the current instance's automaton, wrapping sends.
+  void step_instance(const Incoming* in, const FdValue& d,
+                     std::vector<Outgoing>& out);
+  /// The smallest known command not yet committed, or the no-op.
+  [[nodiscard]] Value next_proposal() const;
+
+  const Pid self_;
+  const Pid n_;
+  const ConsensusFactory engine_;
+  const bool trust_decided_catchup_;
+
+  std::deque<Value> pending_;          // own commands not yet committed
+  std::set<Value> pool_;               // all known submitted commands
+  std::set<Value> committed_;          // commands already in the log
+  std::vector<Value> log_;             // committed commands, in order
+  int instance_ = 0;                   // current instance (1-based)
+  bool announced_ = false;             // own stream broadcast yet?
+  std::unique_ptr<ConsensusAutomaton> current_;
+  /// Messages that arrived for instances we have not opened yet.
+  std::map<int, std::vector<std::pair<Pid, Bytes>>> future_;
+  /// DECIDED values received for instances we have not reached yet
+  /// (catch-up mode only).
+  std::map<int, Value> decided_cache_;
+  /// Finished instances kept alive to serve laggards (no-catch-up mode).
+  std::map<int, std::unique_ptr<ConsensusAutomaton>> retired_;
+};
+
+/// Encodes (client, seq) as a globally unique command value.
+[[nodiscard]] constexpr Value make_command(Pid client, int seq) {
+  return static_cast<Value>(client) * 1'000'000 + seq;
+}
+
+[[nodiscard]] AutomatonFactory make_replicated_log(
+    Pid n, std::vector<std::vector<Value>> command_streams,
+    ConsensusFactory engine, bool trust_decided_catchup = true);
+
+/// Log consistency verdict over the final replica states.
+struct LogVerdict {
+  bool correct_prefix_consistent = false;  // nonuniform SMR guarantee
+  bool all_prefix_consistent = false;      // uniform SMR guarantee
+  bool only_submitted = false;             // validity: no invented entries
+  bool no_duplicates = false;              // each command committed once
+  std::string detail;
+};
+
+[[nodiscard]] LogVerdict check_logs(
+    const FailurePattern& fp,
+    const std::vector<std::unique_ptr<Automaton>>& automata,
+    const std::vector<std::vector<Value>>& command_streams);
+
+}  // namespace nucon

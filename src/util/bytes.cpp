@@ -1,0 +1,6 @@
+#include "util/bytes.hpp"
+
+// All members are defined inline in the header; this translation unit
+// exists so the header gets compiled standalone at least once, catching
+// missing includes early.
+namespace nucon {}

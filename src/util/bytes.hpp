@@ -1,0 +1,148 @@
+// Byte-level serialization for messages that cross the simulated network.
+//
+// Algorithms in this library never hand pointers to each other; every
+// payload (quorum histories, gossiped DAGs, estimates) is encoded to a flat
+// byte vector and decoded on receipt, so message sizes reported by the
+// benchmarks are the sizes a real transport would carry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/process_set.hpp"
+
+namespace nucon {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitive values to a growing byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  /// Unsigned LEB128 variable-length integer; compact for the small counts
+  /// (rounds, pids, node indices) that dominate our payloads.
+  void uvarint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Zig-zag encoded signed integer.
+  void svarint(std::int64_t v) {
+    uvarint((static_cast<std::uint64_t>(v) << 1) ^
+            static_cast<std::uint64_t>(v >> 63));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void pid(Pid p) { svarint(p); }
+
+  void process_set(ProcessSet s) { u64(s.mask()); }
+
+  void str(std::string_view s) {
+    uvarint(s.size());
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  void bytes(const Bytes& b) {
+    uvarint(b.size());
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
+  [[nodiscard]] Bytes take() { return std::move(out_); }
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes out_;
+};
+
+/// Reads values back out of a byte buffer. All accessors return nullopt on
+/// truncated or malformed input; decoding never throws and never reads out
+/// of bounds.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  /// A reader only borrows the buffer; constructing one from a temporary
+  /// would leave it dangling as soon as the statement ends.
+  explicit ByteReader(Bytes&&) = delete;
+
+  [[nodiscard]] std::optional<std::uint8_t> u8() {
+    if (pos_ >= size_) return std::nullopt;
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> uvarint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_ || shift > 63) return std::nullopt;
+      const std::uint8_t b = data_[pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  [[nodiscard]] std::optional<std::int64_t> svarint() {
+    const auto raw = uvarint();
+    if (!raw) return std::nullopt;
+    return static_cast<std::int64_t>((*raw >> 1) ^ (~(*raw & 1) + 1));
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> u64() {
+    if (pos_ + 8 > size_) return std::nullopt;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  [[nodiscard]] std::optional<Pid> pid() {
+    const auto v = svarint();
+    if (!v || *v < 0 || *v >= kMaxProcesses) return std::nullopt;
+    return static_cast<Pid>(*v);
+  }
+
+  [[nodiscard]] std::optional<ProcessSet> process_set() {
+    const auto m = u64();
+    if (!m) return std::nullopt;
+    return ProcessSet::from_mask(*m);
+  }
+
+  [[nodiscard]] std::optional<std::string> str() {
+    const auto len = uvarint();
+    if (!len || pos_ + *len > size_) return std::nullopt;
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), *len);
+    pos_ += *len;
+    return s;
+  }
+
+  [[nodiscard]] std::optional<Bytes> bytes() {
+    const auto len = uvarint();
+    if (!len || pos_ + *len > size_) return std::nullopt;
+    Bytes b(data_ + pos_, data_ + pos_ + *len);
+    pos_ += *len;
+    return b;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nucon

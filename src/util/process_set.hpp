@@ -1,0 +1,165 @@
+// ProcessSet: a value-type set of process identifiers, the universal currency
+// of quorum-based reasoning in this library.
+//
+// The paper's system has n <= 64 processes Pi = {0, .., n-1}; a set of
+// processes is represented as a 64-bit mask so that the hot operations of
+// the distrust machinery (intersection tests between quorums in quorum
+// histories) are single AND instructions.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace nucon {
+
+/// Process identifier. Processes are numbered 0 .. n-1.
+using Pid = std::int32_t;
+
+/// Maximum number of processes supported by the bitmask representation.
+inline constexpr Pid kMaxProcesses = 64;
+
+/// An immutable-style value type holding a set of process ids.
+class ProcessSet {
+ public:
+  constexpr ProcessSet() = default;
+
+  constexpr ProcessSet(std::initializer_list<Pid> pids) {
+    for (Pid p : pids) insert(p);
+  }
+
+  /// The full set {0, .., n-1}.
+  [[nodiscard]] static constexpr ProcessSet full(Pid n) {
+    assert(n >= 0 && n <= kMaxProcesses);
+    ProcessSet s;
+    s.bits_ = (n == kMaxProcesses) ? ~std::uint64_t{0}
+                                   : ((std::uint64_t{1} << n) - 1);
+    return s;
+  }
+
+  /// The singleton {p}.
+  [[nodiscard]] static constexpr ProcessSet single(Pid p) {
+    ProcessSet s;
+    s.insert(p);
+    return s;
+  }
+
+  /// A set from a raw 64-bit mask (bit i set <=> process i in the set).
+  [[nodiscard]] static constexpr ProcessSet from_mask(std::uint64_t mask) {
+    ProcessSet s;
+    s.bits_ = mask;
+    return s;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t mask() const { return bits_; }
+
+  constexpr void insert(Pid p) {
+    assert(p >= 0 && p < kMaxProcesses);
+    bits_ |= std::uint64_t{1} << p;
+  }
+
+  constexpr void erase(Pid p) {
+    assert(p >= 0 && p < kMaxProcesses);
+    bits_ &= ~(std::uint64_t{1} << p);
+  }
+
+  [[nodiscard]] constexpr bool contains(Pid p) const {
+    assert(p >= 0 && p < kMaxProcesses);
+    return (bits_ >> p) & 1U;
+  }
+
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+
+  [[nodiscard]] constexpr int size() const {
+    return __builtin_popcountll(bits_);
+  }
+
+  [[nodiscard]] constexpr bool intersects(ProcessSet other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  [[nodiscard]] constexpr bool is_subset_of(ProcessSet other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+
+  [[nodiscard]] constexpr ProcessSet operator|(ProcessSet o) const {
+    return from_mask(bits_ | o.bits_);
+  }
+  [[nodiscard]] constexpr ProcessSet operator&(ProcessSet o) const {
+    return from_mask(bits_ & o.bits_);
+  }
+  /// Set difference: processes in *this but not in o.
+  [[nodiscard]] constexpr ProcessSet operator-(ProcessSet o) const {
+    return from_mask(bits_ & ~o.bits_);
+  }
+  constexpr ProcessSet& operator|=(ProcessSet o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  constexpr ProcessSet& operator&=(ProcessSet o) {
+    bits_ &= o.bits_;
+    return *this;
+  }
+
+  /// Smallest pid in the set; the set must be nonempty.
+  [[nodiscard]] constexpr Pid min() const {
+    assert(!empty());
+    return static_cast<Pid>(__builtin_ctzll(bits_));
+  }
+
+  /// Largest pid in the set; the set must be nonempty.
+  [[nodiscard]] constexpr Pid max() const {
+    assert(!empty());
+    return static_cast<Pid>(63 - __builtin_clzll(bits_));
+  }
+
+  friend constexpr bool operator==(ProcessSet, ProcessSet) = default;
+  friend constexpr auto operator<=>(ProcessSet a, ProcessSet b) {
+    return a.bits_ <=> b.bits_;
+  }
+
+  /// Iterates over the members in increasing pid order.
+  class Iterator {
+   public:
+    constexpr explicit Iterator(std::uint64_t bits) : bits_(bits) {}
+    constexpr Pid operator*() const {
+      return static_cast<Pid>(__builtin_ctzll(bits_));
+    }
+    constexpr Iterator& operator++() {
+      bits_ &= bits_ - 1;  // clear lowest set bit
+      return *this;
+    }
+    friend constexpr bool operator==(Iterator, Iterator) = default;
+
+   private:
+    std::uint64_t bits_;
+  };
+
+  [[nodiscard]] constexpr Iterator begin() const { return Iterator(bits_); }
+  [[nodiscard]] constexpr Iterator end() const { return Iterator(0); }
+
+  /// Human-readable form, e.g. "{0,2,5}".
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "{";
+    bool first = true;
+    for (Pid p : *this) {
+      if (!first) out += ',';
+      out += std::to_string(p);
+      first = false;
+    }
+    out += '}';
+    return out;
+  }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+/// True when the set holds a strict majority of n processes.
+[[nodiscard]] constexpr bool is_majority(ProcessSet s, Pid n) {
+  return 2 * s.size() > n;
+}
+
+}  // namespace nucon

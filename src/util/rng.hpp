@@ -1,0 +1,105 @@
+// Deterministic, seedable random number generation.
+//
+// Every source of nondeterminism in the simulator (step interleavings,
+// message delays, crash times, failure-detector noise before stabilization)
+// is drawn from an Rng so whole executions replay bit-for-bit from a seed.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/process_set.hpp"
+
+namespace nucon {
+
+/// splitmix64: used to expand a single seed into a stream of well-mixed
+/// 64-bit words (also the recommended seeder for xoshiro).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator; small, fast, and high quality for simulation use.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    assert(bound > 0);
+    // Debiased modulo via rejection; bounds here are tiny so one or two
+    // draws suffice in practice.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    std::uint64_t v = next();
+    while (v >= limit) v = next();
+    return v % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with probability num/den.
+  constexpr bool chance(std::uint64_t num, std::uint64_t den) {
+    return below(den) < num;
+  }
+
+  /// Uniformly random member of a nonempty ProcessSet.
+  Pid pick(ProcessSet s) {
+    assert(!s.empty());
+    auto k = below(static_cast<std::uint64_t>(s.size()));
+    for (Pid p : s) {
+      if (k == 0) return p;
+      --k;
+    }
+    __builtin_unreachable();
+  }
+
+  /// Uniformly random subset of `universe` with exactly `k` members.
+  ProcessSet pick_subset(ProcessSet universe, int k) {
+    assert(k >= 0 && k <= universe.size());
+    ProcessSet out;
+    ProcessSet remaining = universe;
+    for (int i = 0; i < k; ++i) {
+      const Pid p = pick(remaining);
+      out.insert(p);
+      remaining.erase(p);
+    }
+    return out;
+  }
+
+  /// Derives an independent child generator (e.g. one per process).
+  [[nodiscard]] Rng fork(std::uint64_t salt) {
+    return Rng(next() ^ (salt * 0x9e3779b97f4a7c15ULL));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace nucon

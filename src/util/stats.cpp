@@ -1,0 +1,55 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nucon {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  if (std::abs(v - std::round(v)) < 1e-9 && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(std::llround(v)));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  }
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      out.append(widths[c] - cells[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  emit_row(headers_);
+  std::string sep;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    sep.append(widths[c], '-');
+    sep.append(2, ' ');
+  }
+  out += sep + '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+}  // namespace nucon

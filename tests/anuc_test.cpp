@@ -1,0 +1,212 @@
+// A_nuc correctness sweeps (paper Theorem 6.27): termination, validity and
+// nonuniform agreement under (Omega, Sigma^nu+), across system sizes,
+// fault counts, adversarial faulty-quorum behaviors and seeds — including
+// environments with a correct minority, where majority-based algorithms
+// cannot terminate.
+#include "core/anuc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/naive_sigma_nu.hpp"
+#include "consensus_test_util.hpp"
+
+namespace nucon {
+namespace {
+
+using testutil::SweepParam;
+
+constexpr Time kStabilize = 120;
+constexpr std::int64_t kMaxSteps = 120'000;
+
+class AnucSweep : public testing::TestWithParam<SweepParam> {};
+
+TEST_P(AnucSweep, SolvesNonuniformConsensusUnderAdversarialOracle) {
+  const FailurePattern fp = testutil::sweep_pattern(GetParam(), kStabilize - 20);
+  auto oracle = testutil::omega_sigma_nu_plus(fp, kStabilize, GetParam().seed);
+
+  SchedulerOptions opts;
+  opts.seed = GetParam().seed;
+  opts.max_steps = kMaxSteps;
+  const auto stats =
+      run_consensus(fp, oracle.top(), make_anuc(GetParam().n),
+                    testutil::mixed_proposals(GetParam().n), opts);
+
+  EXPECT_TRUE(stats.all_correct_decided) << fp.to_string();
+  EXPECT_TRUE(stats.verdict.termination) << stats.verdict.detail;
+  EXPECT_TRUE(stats.verdict.validity) << stats.verdict.detail;
+  EXPECT_TRUE(stats.verdict.nonuniform_agreement) << stats.verdict.detail;
+}
+
+TEST_P(AnucSweep, UnanimousProposalsDecideTheProposedValue) {
+  const FailurePattern fp = testutil::sweep_pattern(GetParam(), kStabilize - 20);
+  auto oracle =
+      testutil::omega_sigma_nu_plus(fp, kStabilize, GetParam().seed + 500);
+
+  SchedulerOptions opts;
+  opts.seed = GetParam().seed + 500;
+  opts.max_steps = kMaxSteps;
+  const std::vector<Value> sevens(static_cast<std::size_t>(GetParam().n), 7);
+  const auto stats =
+      run_consensus(fp, oracle.top(), make_anuc(GetParam().n), sevens, opts);
+
+  ASSERT_TRUE(stats.all_correct_decided);
+  for (Pid p : fp.correct()) {
+    EXPECT_EQ(stats.decisions[static_cast<std::size_t>(p)], 7);
+  }
+}
+
+std::vector<SweepParam> anuc_params() {
+  std::vector<SweepParam> out;
+  for (Pid n : {2, 3, 4, 5, 6}) {
+    for (Pid faults = 0; faults < n; ++faults) {
+      for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        out.push_back({n, faults, seed});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AnucSweep, testing::ValuesIn(anuc_params()),
+                         testutil::sweep_name);
+
+TEST(Anuc, ToleratesCorrectMinority) {
+  // 1 correct out of 5: impossible for majority-based algorithms, fine for
+  // (Omega, Sigma^nu+).
+  FailurePattern fp(5);
+  for (Pid p = 1; p < 5; ++p) fp.set_crash(p, 40 + 10 * p);
+  auto oracle = testutil::omega_sigma_nu_plus(fp, 150, 9);
+
+  SchedulerOptions opts;
+  opts.seed = 9;
+  opts.max_steps = 120'000;
+  const auto stats = run_consensus(fp, oracle.top(), make_anuc(5),
+                                   testutil::mixed_proposals(5), opts);
+  EXPECT_TRUE(stats.all_correct_decided);
+  EXPECT_TRUE(stats.verdict.solves_nonuniform()) << stats.verdict.detail;
+}
+
+TEST(Anuc, NoFailuresFastPath) {
+  const FailurePattern fp(4);
+  auto oracle = testutil::omega_sigma_nu_plus(fp, 0, 11);
+  SchedulerOptions opts;
+  opts.seed = 11;
+  opts.max_steps = 60'000;
+  const auto stats = run_consensus(fp, oracle.top(), make_anuc(4),
+                                   {5, 5, 9, 9}, opts);
+  EXPECT_TRUE(stats.all_correct_decided);
+  EXPECT_TRUE(stats.verdict.solves_nonuniform());
+  // With an immediately-stable oracle the decision lands within few rounds.
+  EXPECT_LE(stats.decide_round, 6);
+}
+
+TEST(Anuc, MultivaluedProposals) {
+  const FailurePattern fp(5);
+  auto oracle = testutil::omega_sigma_nu_plus(fp, 50, 13);
+  SchedulerOptions opts;
+  opts.seed = 13;
+  opts.max_steps = 120'000;
+  const auto stats = run_consensus(fp, oracle.top(), make_anuc(5),
+                                   {10, 20, 30, 40, 50}, opts);
+  EXPECT_TRUE(stats.verdict.solves_nonuniform()) << stats.verdict.detail;
+}
+
+TEST(Anuc, BenignFaultyBehaviorAlsoWorks) {
+  FailurePattern fp(4);
+  fp.set_crash(0, 60);  // crash the would-be kernel/leader
+  auto oracle = testutil::omega_sigma_nu_plus(fp, 100, 17,
+                                              FaultyQuorumBehavior::kBenign);
+  SchedulerOptions opts;
+  opts.seed = 17;
+  opts.max_steps = 120'000;
+  const auto stats = run_consensus(fp, oracle.top(), make_anuc(4),
+                                   testutil::mixed_proposals(4), opts);
+  EXPECT_TRUE(stats.verdict.solves_nonuniform()) << stats.verdict.detail;
+}
+
+TEST(Anuc, DecisionIsIrrevocable) {
+  const FailurePattern fp(3);
+  auto oracle = testutil::omega_sigma_nu_plus(fp, 0, 19);
+  SchedulerOptions opts;
+  opts.seed = 19;
+  opts.max_steps = 20'000;
+  // Run far beyond the first decision (no early stop).
+  opts.stop_when = [](const auto&) { return false; };
+
+  std::vector<std::optional<Value>> first_decision(3);
+  opts.on_step = [&first_decision](
+                     const StepRecord& rec,
+                     const std::vector<std::unique_ptr<Automaton>>& all) {
+    const auto* c = dynamic_cast<const ConsensusAutomaton*>(
+        all[static_cast<std::size_t>(rec.p)].get());
+    const auto d = c->decision();
+    auto& first = first_decision[static_cast<std::size_t>(rec.p)];
+    if (d && !first) first = d;
+    if (d && first) EXPECT_EQ(d, first);  // never changes once set
+  };
+  const auto stats = run_consensus(fp, oracle.top(), make_anuc(3),
+                                   {0, 1, 1}, opts);
+  for (Pid p = 0; p < 3; ++p) {
+    EXPECT_EQ(stats.decisions[static_cast<std::size_t>(p)],
+              first_decision[static_cast<std::size_t>(p)]);
+  }
+}
+
+TEST(AnucAblation, WithoutDistrustAgreementBreaks) {
+  // Removing the distrust test (Fig. 4 lines 18/28) reverts A_nuc to a
+  // contaminable algorithm: the adversarial family finds violations.
+  const ContaminationSetup setup;
+  const AnucOptions no_distrust{.use_distrust = false,
+                                .use_quorum_awareness = true};
+  const int violations = count_nonuniform_violations(
+      setup, make_anuc(setup.n, no_distrust), 300, /*use_sigma_nu_plus=*/true);
+  EXPECT_GT(violations, 0);
+}
+
+TEST(AnucAblation, FullAlgorithmSurvivesTheSameSeeds) {
+  const ContaminationSetup setup;
+  const int violations = count_nonuniform_violations(
+      setup, make_anuc(setup.n), 300, /*use_sigma_nu_plus=*/true);
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(AnucAblation, AblationsDoNotAffectLiveness) {
+  // Both ablated variants still terminate under benign conditions; the
+  // mechanisms are safety devices.
+  for (const AnucOptions options :
+       {AnucOptions{.use_distrust = false, .use_quorum_awareness = true},
+        AnucOptions{.use_distrust = true, .use_quorum_awareness = false}}) {
+    FailurePattern fp(4);
+    fp.set_crash(3, 60);
+    auto oracle = testutil::omega_sigma_nu_plus(fp, 100, 31);
+    SchedulerOptions opts;
+    opts.seed = 31;
+    opts.max_steps = 120'000;
+    const auto stats = run_consensus(fp, oracle.top(), make_anuc(4, options),
+                                     testutil::mixed_proposals(4), opts);
+    EXPECT_TRUE(stats.all_correct_decided);
+    EXPECT_TRUE(stats.verdict.validity);
+  }
+}
+
+TEST(Anuc, HistoriesGrowButStayBounded) {
+  const FailurePattern fp(4);
+  auto oracle = testutil::omega_sigma_nu_plus(fp, 0, 23);
+  SchedulerOptions opts;
+  opts.seed = 23;
+  opts.max_steps = 30'000;
+  SimResult sim = simulate_consensus(fp, oracle.top(), make_anuc(4),
+                                     {0, 0, 1, 1}, opts);
+  for (Pid p = 0; p < 4; ++p) {
+    const auto* a = dynamic_cast<const Anuc*>(
+        sim.automata[static_cast<std::size_t>(p)].get());
+    ASSERT_NE(a, nullptr);
+    EXPECT_GT(a->history().size(), 0u);
+    // At most n * 2^n distinct (process, quorum) entries for n=4.
+    EXPECT_LE(a->history().size(), 4u * 16u);
+    EXPECT_GT(a->distrust_calls(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace nucon

@@ -1,0 +1,163 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace nucon {
+namespace {
+
+TEST(Bytes, UvarintRoundTrip) {
+  ByteWriter w;
+  const std::uint64_t values[] = {0,    1,    127,  128,   16384,
+                                  1u << 20, std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : values) w.uvarint(v);
+  const Bytes data = w.take();
+
+  ByteReader r(data);
+  for (std::uint64_t v : values) {
+    const auto got = r.uvarint();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, SvarintRoundTrip) {
+  ByteWriter w;
+  const std::int64_t values[] = {0, 1, -1, 63, -64, 1 << 20, -(1 << 20),
+                                 std::numeric_limits<std::int64_t>::max(),
+                                 std::numeric_limits<std::int64_t>::min()};
+  for (std::int64_t v : values) w.svarint(v);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  for (std::int64_t v : values) {
+    const auto got = r.svarint();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(Bytes, SmallValuesAreCompact) {
+  ByteWriter w;
+  w.uvarint(5);
+  EXPECT_EQ(w.size(), 1u);
+  w.uvarint(300);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(Bytes, U64RoundTrip) {
+  ByteWriter w;
+  w.u64(0xdeadbeefcafef00dULL);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.u64(), 0xdeadbeefcafef00dULL);
+}
+
+TEST(Bytes, PidRoundTrip) {
+  ByteWriter w;
+  w.pid(0);
+  w.pid(63);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.pid(), 0);
+  EXPECT_EQ(r.pid(), 63);
+}
+
+TEST(Bytes, PidRejectsOutOfRange) {
+  ByteWriter w;
+  w.svarint(64);
+  const Bytes buf1 = w.take();
+  ByteReader r1(buf1);
+  EXPECT_FALSE(r1.pid());
+
+  ByteWriter w2;
+  w2.svarint(-1);
+  const Bytes buf2 = w2.take();
+  ByteReader r2(buf2);
+  EXPECT_FALSE(r2.pid());
+}
+
+TEST(Bytes, ProcessSetRoundTrip) {
+  ByteWriter w;
+  const ProcessSet s{0, 5, 63};
+  w.process_set(s);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.process_set(), s);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.str("hello");
+  w.str("");
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, NestedBytesRoundTrip) {
+  ByteWriter inner;
+  inner.uvarint(7);
+  ByteWriter w;
+  w.bytes(inner.take());
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  const auto blob = r.bytes();
+  ASSERT_TRUE(blob);
+  ByteReader ri(*blob);
+  EXPECT_EQ(ri.uvarint(), 7u);
+}
+
+TEST(Bytes, TruncatedReadsFail) {
+  ByteWriter w;
+  w.u64(1234);
+  Bytes data = w.take();
+  data.resize(4);
+  ByteReader r(data);
+  EXPECT_FALSE(r.u64());
+}
+
+TEST(Bytes, TruncatedVarintFails) {
+  Bytes data = {0x80, 0x80};  // continuation bits with no terminator
+  ByteReader r(data);
+  EXPECT_FALSE(r.uvarint());
+}
+
+TEST(Bytes, OverlongVarintFails) {
+  Bytes data(11, 0x80);  // more than 64 bits of continuation
+  ByteReader r(data);
+  EXPECT_FALSE(r.uvarint());
+}
+
+TEST(Bytes, TruncatedStringFails) {
+  ByteWriter w;
+  w.uvarint(100);  // claims 100 bytes follow; none do
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_FALSE(r.str());
+}
+
+TEST(Bytes, EmptyReaderIsDone) {
+  Bytes empty;
+  ByteReader r(empty);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_FALSE(r.u8());
+}
+
+TEST(Bytes, RemainingTracksPosition) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.remaining(), 2u);
+  (void)r.u8();
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+}  // namespace
+}  // namespace nucon

@@ -1,0 +1,188 @@
+// Guarding the guards: mutate legal oracle histories with planted
+// violations and assert each checker catches them. A checker that accepts
+// everything would make every other "history is in class D" test
+// meaningless, so these tests are load-bearing.
+#include <gtest/gtest.h>
+
+#include "fd/classic.hpp"
+#include "fd/history.hpp"
+#include "fd/omega.hpp"
+#include "fd/sigma.hpp"
+#include "fd/sigma_nu.hpp"
+
+namespace nucon {
+namespace {
+
+constexpr Time kStabilize = 40;
+constexpr Time kHorizon = 120;
+
+FailurePattern pattern(Pid n, Pid faults, std::uint64_t seed) {
+  Rng rng(seed * 48271);
+  return Environment{n, static_cast<Pid>(n - 1)}.sample(rng, faults,
+                                                        kStabilize - 10);
+}
+
+template <typename OracleT>
+RecordedHistory sample_all(const FailurePattern& fp, OracleT& oracle) {
+  RecordedHistory h;
+  for (Time t = 1; t <= kHorizon; ++t) {
+    for (Pid p = 0; p < fp.n(); ++p) {
+      if (fp.alive_at(p, t)) h.add(p, t, oracle.value(p, t));
+    }
+  }
+  return h;
+}
+
+/// Copies `h` with one sample (by index) replaced.
+RecordedHistory mutate(const RecordedHistory& h, std::size_t index,
+                       FdValue replacement) {
+  RecordedHistory out;
+  for (std::size_t i = 0; i < h.samples().size(); ++i) {
+    const Sample& s = h.samples()[i];
+    out.add(s.p, s.t, i == index ? replacement : s.value);
+  }
+  return out;
+}
+
+/// Index of some post-stabilization sample of a correct process.
+std::size_t late_correct_sample(const RecordedHistory& h,
+                                const FailurePattern& fp) {
+  for (std::size_t i = h.samples().size(); i-- > 0;) {
+    const Sample& s = h.samples()[i];
+    if (fp.is_correct(s.p) && s.t > kStabilize + 10) return i;
+  }
+  ADD_FAILURE() << "no late correct sample";
+  return 0;
+}
+
+struct MutParam {
+  Pid n;
+  Pid faults;
+  std::uint64_t seed;
+};
+
+class CheckerMutation : public testing::TestWithParam<MutParam> {};
+
+TEST_P(CheckerMutation, SigmaCatchesPlantedDisjointQuorum) {
+  const auto [n, faults, seed] = GetParam();
+  const FailurePattern fp = pattern(n, faults, seed);
+  SigmaOptions so;
+  so.stabilize_at = kStabilize;
+  so.seed = seed;
+  SigmaOracle oracle(fp, so);
+  const RecordedHistory h = sample_all(fp, oracle);
+  ASSERT_TRUE(check_sigma(h, fp).ok);
+
+  // Plant a quorum disjoint from the kernel-bearing ones: the complement
+  // of the correct set plus nothing — or, when everyone is correct, an
+  // empty quorum (disjoint from everything).
+  const ProcessSet bad = fp.faulty();
+  const auto idx = late_correct_sample(h, fp);
+  const RecordedHistory mutated = mutate(h, idx, FdValue::of_quorum(bad));
+  EXPECT_FALSE(check_sigma(mutated, fp).ok);
+}
+
+TEST_P(CheckerMutation, SigmaNuCatchesPlantedCompletenessViolation) {
+  const auto [n, faults, seed] = GetParam();
+  const FailurePattern fp = pattern(n, faults, seed);
+  if (fp.faulty().empty()) GTEST_SKIP();
+  SigmaNuOptions so;
+  so.stabilize_at = kStabilize;
+  so.seed = seed;
+  SigmaNuOracle oracle(fp, so);
+  const RecordedHistory h = sample_all(fp, oracle);
+  ASSERT_TRUE(check_sigma_nu(h, fp).ok);
+
+  // Make the LAST correct sample include a faulty process: no suffix can
+  // witness completeness any more.
+  std::size_t last_correct = 0;
+  for (std::size_t i = 0; i < h.samples().size(); ++i) {
+    if (fp.is_correct(h.samples()[i].p)) last_correct = i;
+  }
+  FdValue bad = h.samples()[last_correct].value;
+  bad.set_quorum(bad.quorum() | ProcessSet::single(fp.faulty().min()));
+  const RecordedHistory mutated = mutate(h, last_correct, bad);
+  EXPECT_FALSE(check_sigma_nu(mutated, fp).ok);
+}
+
+TEST_P(CheckerMutation, SigmaNuPlusCatchesPlantedSelfExclusion) {
+  const auto [n, faults, seed] = GetParam();
+  if (n < 3) GTEST_SKIP();
+  const FailurePattern fp = pattern(n, faults, seed);
+  SigmaNuPlusOptions so;
+  so.stabilize_at = kStabilize;
+  so.seed = seed;
+  SigmaNuPlusOracle oracle(fp, so);
+  const RecordedHistory h = sample_all(fp, oracle);
+  ASSERT_TRUE(check_sigma_nu_plus(h, fp).ok);
+
+  const auto idx = late_correct_sample(h, fp);
+  const Pid sampler = h.samples()[idx].p;
+  FdValue bad = h.samples()[idx].value;
+  ProcessSet q = bad.quorum();
+  q.erase(sampler);  // violate self-inclusion
+  // Keep the quorum nonempty with a member that is not the sampler.
+  q |= ProcessSet::single(static_cast<Pid>((sampler + 1) % n));
+  bad.set_quorum(q);
+  const RecordedHistory mutated = mutate(h, idx, bad);
+  EXPECT_FALSE(check_sigma_nu_plus(mutated, fp).ok);
+}
+
+TEST_P(CheckerMutation, OmegaCatchesPlantedLateDefector) {
+  const auto [n, faults, seed] = GetParam();
+  const FailurePattern fp = pattern(n, faults, seed);
+  if (fp.correct().size() < 2) GTEST_SKIP();
+  OmegaOptions oo;
+  oo.stabilize_at = kStabilize;
+  oo.seed = seed;
+  OmegaOracle oracle(fp, oo);
+  const RecordedHistory h = sample_all(fp, oracle);
+  ASSERT_TRUE(check_omega(h, fp).ok);
+
+  // The LAST sample of some correct process trusts a different correct
+  // process: no unanimous suffix remains witnessed for every process.
+  std::size_t last_correct = 0;
+  for (std::size_t i = 0; i < h.samples().size(); ++i) {
+    if (fp.is_correct(h.samples()[i].p)) last_correct = i;
+  }
+  const Pid current = h.samples()[last_correct].value.leader();
+  Pid other = -1;
+  for (Pid c : fp.correct()) {
+    if (c != current) other = c;
+  }
+  ASSERT_NE(other, -1);
+  const RecordedHistory mutated =
+      mutate(h, last_correct, FdValue::of_leader(other));
+  EXPECT_FALSE(check_omega(mutated, fp).ok);
+}
+
+TEST_P(CheckerMutation, PerfectCatchesPlantedPrematureSuspicion) {
+  const auto [n, faults, seed] = GetParam();
+  const FailurePattern fp = pattern(n, faults, seed);
+  if (fp.correct().size() < 2) GTEST_SKIP();
+  PerfectOracle oracle(fp);
+  const RecordedHistory h = sample_all(fp, oracle);
+  ASSERT_TRUE(check_perfect(h, fp).ok);
+
+  const auto idx = late_correct_sample(h, fp);
+  // Suspect a correct process: strong accuracy must break.
+  const Pid victim = fp.correct().max();
+  FdValue bad = h.samples()[idx].value;
+  bad.set_suspects(bad.suspects() | ProcessSet::single(victim));
+  const RecordedHistory mutated = mutate(h, idx, bad);
+  EXPECT_FALSE(check_perfect(mutated, fp).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CheckerMutation,
+    testing::Values(MutParam{2, 0, 1}, MutParam{3, 1, 1}, MutParam{4, 1, 2},
+                    MutParam{4, 2, 3}, MutParam{5, 2, 1}, MutParam{5, 4, 2},
+                    MutParam{7, 3, 1}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_f" +
+             std::to_string(info.param.faults) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace nucon

@@ -1,0 +1,87 @@
+#include "check/consensus_checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nucon {
+namespace {
+
+using Decisions = std::vector<std::optional<Value>>;
+
+TEST(ConsensusChecker, AllGood) {
+  const FailurePattern fp(3);
+  const auto v = check_consensus(fp, {1, 1, 1}, Decisions{1, 1, 1});
+  EXPECT_TRUE(v.termination);
+  EXPECT_TRUE(v.validity);
+  EXPECT_TRUE(v.nonuniform_agreement);
+  EXPECT_TRUE(v.uniform_agreement);
+  EXPECT_TRUE(v.solves_nonuniform());
+  EXPECT_TRUE(v.solves_uniform());
+  EXPECT_TRUE(v.detail.empty());
+}
+
+TEST(ConsensusChecker, TerminationNeedsAllCorrect) {
+  const FailurePattern fp(3);
+  const auto v = check_consensus(fp, {0, 0, 0}, Decisions{0, std::nullopt, 0});
+  EXPECT_FALSE(v.termination);
+  EXPECT_FALSE(v.solves_nonuniform());
+  EXPECT_NE(v.detail.find("termination"), std::string::npos);
+}
+
+TEST(ConsensusChecker, FaultyNeedNotDecide) {
+  FailurePattern fp(3);
+  fp.set_crash(1, 5);
+  const auto v = check_consensus(fp, {0, 0, 0}, Decisions{0, std::nullopt, 0});
+  EXPECT_TRUE(v.termination);
+  EXPECT_TRUE(v.solves_nonuniform());
+}
+
+TEST(ConsensusChecker, ValidityRejectsUnproposed) {
+  const FailurePattern fp(2);
+  const auto v = check_consensus(fp, {0, 1}, Decisions{2, 2});
+  EXPECT_FALSE(v.validity);
+  EXPECT_NE(v.detail.find("validity"), std::string::npos);
+}
+
+TEST(ConsensusChecker, ValidityAcceptsAnyProposed) {
+  const FailurePattern fp(2);
+  EXPECT_TRUE(check_consensus(fp, {0, 1}, Decisions{1, 1}).validity);
+  EXPECT_TRUE(check_consensus(fp, {0, 1}, Decisions{0, 0}).validity);
+}
+
+TEST(ConsensusChecker, CorrectDisagreementBreaksBoth) {
+  const FailurePattern fp(2);
+  const auto v = check_consensus(fp, {0, 1}, Decisions{0, 1});
+  EXPECT_FALSE(v.nonuniform_agreement);
+  EXPECT_FALSE(v.uniform_agreement);
+  EXPECT_FALSE(v.solves_nonuniform());
+}
+
+TEST(ConsensusChecker, FaultyDisagreementBreaksOnlyUniform) {
+  FailurePattern fp(3);
+  fp.set_crash(2, 100);
+  const auto v = check_consensus(fp, {0, 0, 1}, Decisions{0, 0, 1});
+  EXPECT_TRUE(v.nonuniform_agreement);
+  EXPECT_FALSE(v.uniform_agreement);
+  EXPECT_TRUE(v.solves_nonuniform());
+  EXPECT_FALSE(v.solves_uniform());
+  EXPECT_NE(v.detail.find("uniform"), std::string::npos);
+}
+
+TEST(ConsensusChecker, TwoFaultyDisagreeingBreaksOnlyUniform) {
+  FailurePattern fp(4);
+  fp.set_crash(2, 10);
+  fp.set_crash(3, 10);
+  const auto v = check_consensus(fp, {0, 0, 1, 0}, Decisions{0, 0, 1, 0});
+  EXPECT_TRUE(v.nonuniform_agreement);
+  EXPECT_FALSE(v.uniform_agreement);
+}
+
+TEST(ConsensusChecker, UndecidedProcessesDoNotDisagree) {
+  const FailurePattern fp(3);
+  const auto v =
+      check_consensus(fp, {5, 5, 5}, Decisions{5, 5, 5});
+  EXPECT_TRUE(v.uniform_agreement);
+}
+
+}  // namespace
+}  // namespace nucon

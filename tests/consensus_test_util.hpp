@@ -1,0 +1,109 @@
+// Shared helpers for the consensus-algorithm test sweeps.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algo/harness.hpp"
+#include "fd/classic.hpp"
+#include "fd/composed.hpp"
+#include "fd/omega.hpp"
+#include "fd/sigma.hpp"
+#include "fd/sigma_nu.hpp"
+
+namespace nucon::testutil {
+
+/// Owns the oracle stack for one run (component oracles must outlive the
+/// composed one).
+struct OracleStack {
+  std::unique_ptr<Oracle> first;
+  std::unique_ptr<Oracle> second;
+  std::unique_ptr<Oracle> composed;
+
+  Oracle& top() { return composed ? *composed : *first; }
+};
+
+inline OracleStack omega_sigma_nu_plus(const FailurePattern& fp,
+                                       Time stabilize, std::uint64_t seed,
+                                       FaultyQuorumBehavior behavior =
+                                           FaultyQuorumBehavior::kAdversarialDisjoint) {
+  OracleStack s;
+  OmegaOptions oo;
+  oo.stabilize_at = stabilize;
+  oo.seed = seed;
+  s.first = std::make_unique<OmegaOracle>(fp, oo);
+  SigmaNuPlusOptions so;
+  so.stabilize_at = stabilize;
+  so.seed = seed + 0x9e37;
+  so.faulty = behavior;
+  s.second = std::make_unique<SigmaNuPlusOracle>(fp, so);
+  s.composed = std::make_unique<ComposedOracle>(*s.first, *s.second);
+  return s;
+}
+
+inline OracleStack omega_sigma(const FailurePattern& fp, Time stabilize,
+                               std::uint64_t seed,
+                               SigmaStrategy strategy = SigmaStrategy::kKernel) {
+  OracleStack s;
+  OmegaOptions oo;
+  oo.stabilize_at = stabilize;
+  oo.seed = seed;
+  s.first = std::make_unique<OmegaOracle>(fp, oo);
+  SigmaOptions so;
+  so.stabilize_at = stabilize;
+  so.seed = seed + 0x9e37;
+  so.strategy = strategy;
+  s.composed = nullptr;
+  s.second = std::make_unique<SigmaOracle>(fp, so);
+  s.composed = std::make_unique<ComposedOracle>(*s.first, *s.second);
+  return s;
+}
+
+inline OracleStack omega_only(const FailurePattern& fp, Time stabilize,
+                              std::uint64_t seed) {
+  OracleStack s;
+  OmegaOptions oo;
+  oo.stabilize_at = stabilize;
+  oo.seed = seed;
+  s.first = std::make_unique<OmegaOracle>(fp, oo);
+  return s;
+}
+
+inline OracleStack evt_strong(const FailurePattern& fp, Time stabilize,
+                              std::uint64_t seed) {
+  OracleStack s;
+  SuspectsOptions so;
+  so.stabilize_at = stabilize;
+  so.seed = seed;
+  s.first = std::make_unique<EvtStrongOracle>(fp, so);
+  return s;
+}
+
+/// Mixed 0/1 proposals (process parity).
+inline std::vector<Value> mixed_proposals(Pid n) {
+  std::vector<Value> out(static_cast<std::size_t>(n));
+  for (Pid p = 0; p < n; ++p) out[static_cast<std::size_t>(p)] = p % 2;
+  return out;
+}
+
+struct SweepParam {
+  Pid n;
+  Pid faults;
+  std::uint64_t seed;
+};
+
+inline std::string sweep_name(const testing::TestParamInfo<SweepParam>& info) {
+  return "n" + std::to_string(info.param.n) + "_f" +
+         std::to_string(info.param.faults) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+inline FailurePattern sweep_pattern(const SweepParam& param, Time latest_crash) {
+  Rng rng(param.seed * 7919 + static_cast<std::uint64_t>(param.n) * 131 +
+          static_cast<std::uint64_t>(param.faults));
+  return Environment{param.n, static_cast<Pid>(param.n - 1)}.sample(
+      rng, param.faults, latest_crash);
+}
+
+}  // namespace nucon::testutil

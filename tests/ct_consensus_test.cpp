@@ -1,0 +1,104 @@
+// Chandra-Toueg rotating-coordinator consensus with <>S: uniform
+// consensus whenever a majority of processes is correct.
+#include "algo/ct_consensus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "consensus_test_util.hpp"
+
+namespace nucon {
+namespace {
+
+using testutil::SweepParam;
+
+constexpr Time kStabilize = 120;
+constexpr std::int64_t kMaxSteps = 150'000;
+
+class CtSweep : public testing::TestWithParam<SweepParam> {};
+
+TEST_P(CtSweep, SolvesUniformConsensusWithMajority) {
+  const FailurePattern fp = testutil::sweep_pattern(GetParam(), kStabilize - 20);
+  ASSERT_TRUE(is_majority(fp.correct(), fp.n()));
+  auto oracle = testutil::evt_strong(fp, kStabilize, GetParam().seed);
+
+  SchedulerOptions opts;
+  opts.seed = GetParam().seed;
+  opts.max_steps = kMaxSteps;
+  const auto stats =
+      run_consensus(fp, oracle.top(), make_ct(GetParam().n),
+                    testutil::mixed_proposals(GetParam().n), opts);
+
+  EXPECT_TRUE(stats.all_correct_decided) << fp.to_string();
+  EXPECT_TRUE(stats.verdict.solves_uniform()) << stats.verdict.detail;
+}
+
+std::vector<SweepParam> ct_params() {
+  std::vector<SweepParam> out;
+  for (Pid n : {3, 4, 5, 7}) {
+    for (Pid faults = 0; 2 * faults < n; ++faults) {
+      for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        out.push_back({n, faults, seed});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CtSweep, testing::ValuesIn(ct_params()),
+                         testutil::sweep_name);
+
+TEST(CtConsensus, DecidesUnanimousValue) {
+  const FailurePattern fp(3);
+  auto oracle = testutil::evt_strong(fp, 0, 4);
+  SchedulerOptions opts;
+  opts.seed = 4;
+  opts.max_steps = 60'000;
+  const auto stats = run_consensus(fp, oracle.top(), make_ct(3), {8, 8, 8}, opts);
+  ASSERT_TRUE(stats.all_correct_decided);
+  for (Pid p = 0; p < 3; ++p) {
+    EXPECT_EQ(stats.decisions[static_cast<std::size_t>(p)], 8);
+  }
+}
+
+TEST(CtConsensus, ToleratesCrashedFirstCoordinator) {
+  FailurePattern fp(5);
+  fp.set_crash(0, 5);  // round-1 coordinator dies immediately
+  auto oracle = testutil::evt_strong(fp, 80, 8);
+  SchedulerOptions opts;
+  opts.seed = 8;
+  opts.max_steps = 150'000;
+  const auto stats = run_consensus(fp, oracle.top(), make_ct(5),
+                                   testutil::mixed_proposals(5), opts);
+  EXPECT_TRUE(stats.all_correct_decided);
+  EXPECT_TRUE(stats.verdict.solves_uniform()) << stats.verdict.detail;
+}
+
+TEST(CtConsensus, WithPerfectDetectorDecidesQuickly) {
+  FailurePattern fp(4);
+  fp.set_crash(3, 15);
+  PerfectOracle oracle(fp);
+  SchedulerOptions opts;
+  opts.seed = 12;
+  opts.max_steps = 60'000;
+  const auto stats = run_consensus(fp, oracle, make_ct(4),
+                                   testutil::mixed_proposals(4), opts);
+  EXPECT_TRUE(stats.all_correct_decided);
+  EXPECT_TRUE(stats.verdict.solves_uniform()) << stats.verdict.detail;
+}
+
+TEST(CtConsensus, SafetyHoldsEvenWhileBlockedWithoutMajority) {
+  FailurePattern fp(4);
+  fp.set_crash(1, 10);
+  fp.set_crash(2, 10);
+  auto oracle = testutil::evt_strong(fp, 60, 14);
+  SchedulerOptions opts;
+  opts.seed = 14;
+  opts.max_steps = 40'000;
+  const auto stats = run_consensus(fp, oracle.top(), make_ct(4),
+                                   testutil::mixed_proposals(4), opts);
+  EXPECT_TRUE(stats.verdict.uniform_agreement);
+  EXPECT_TRUE(stats.verdict.validity);
+}
+
+}  // namespace
+}  // namespace nucon

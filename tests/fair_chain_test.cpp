@@ -1,0 +1,101 @@
+// Properties of the Lemma 4.8-style fair chains, including the batching
+// parameter that trades path length against interleaving granularity.
+#include <gtest/gtest.h>
+
+#include "dag/dag_builder.hpp"
+#include "fd/sigma_nu.hpp"
+#include "sim/scheduler.hpp"
+
+namespace nucon {
+namespace {
+
+SampleDag gossiped_dag(Pid n, std::int64_t steps, std::uint64_t seed) {
+  const FailurePattern fp(n);
+  SigmaNuOptions so;
+  so.seed = seed;
+  SigmaNuOracle oracle(fp, so);
+  SchedulerOptions opts;
+  opts.seed = seed;
+  opts.max_steps = steps;
+  const SimResult sim = simulate(fp, oracle, make_adag(n), opts);
+  return static_cast<const AdagAutomaton*>(sim.automata[0].get())
+      ->core()
+      .dag();
+}
+
+struct ChainParam {
+  Pid n;
+  int batch;
+  std::uint64_t seed;
+};
+
+class FairChainSweep : public testing::TestWithParam<ChainParam> {};
+
+TEST_P(FairChainSweep, ChainsAreGenuinePaths) {
+  const auto [n, batch, seed] = GetParam();
+  const SampleDag dag = gossiped_dag(n, 1200, seed);
+  const auto chain = dag.fair_chain(NodeRef{0, 1}, batch);
+  ASSERT_GT(chain.size(), 10u);
+  EXPECT_EQ(chain.front(), (NodeRef{0, 1}));
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    ASSERT_TRUE(dag.has_edge(chain[i], chain[i + 1]))
+        << "broken edge at " << i;
+  }
+}
+
+TEST_P(FairChainSweep, ChainsCoverEveryProcess) {
+  const auto [n, batch, seed] = GetParam();
+  const SampleDag dag = gossiped_dag(n, 1200, seed);
+  const auto chain = dag.fair_chain(NodeRef{0, 1}, batch);
+  EXPECT_EQ(participants_of(std::span<const NodeRef>(chain)),
+            ProcessSet::full(n));
+}
+
+TEST_P(FairChainSweep, NoSampleAppearsTwice) {
+  const auto [n, batch, seed] = GetParam();
+  const SampleDag dag = gossiped_dag(n, 800, seed);
+  const auto chain = dag.fair_chain(NodeRef{0, 1}, batch);
+  std::vector<std::uint64_t> keys;
+  for (const NodeRef& v : chain) {
+    keys.push_back((static_cast<std::uint64_t>(v.q) << 32) | v.k);
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FairChainSweep,
+    testing::Values(ChainParam{2, 1, 1}, ChainParam{2, 8, 1},
+                    ChainParam{3, 1, 2}, ChainParam{3, 8, 2},
+                    ChainParam{3, 32, 2}, ChainParam{5, 8, 3},
+                    ChainParam{5, 16, 4}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_b" +
+             std::to_string(info.param.batch) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(FairChain, LargerBatchesGiveLongerChains) {
+  const SampleDag dag = gossiped_dag(3, 2000, 9);
+  const auto short_chain = dag.fair_chain(NodeRef{0, 1}, 1);
+  const auto long_chain = dag.fair_chain(NodeRef{0, 1}, 16);
+  EXPECT_GT(long_chain.size(), short_chain.size() * 2);
+}
+
+TEST(FairChain, MissingRootGivesEmptyChain) {
+  const SampleDag dag(3);
+  EXPECT_TRUE(dag.fair_chain(NodeRef{0, 1}).empty());
+  EXPECT_TRUE(dag.fair_chain(NodeRef{2, 7}).empty());
+}
+
+TEST(FairChain, SingleProcessChainIsItsWholeSuffix) {
+  SampleDag dag(2);
+  for (int i = 0; i < 10; ++i) dag.take_sample(1, FdValue::of_leader(1));
+  const auto chain = dag.fair_chain(NodeRef{1, 4}, 4);
+  EXPECT_EQ(chain.size(), 7u);  // samples 4..10
+  EXPECT_EQ(chain.front(), (NodeRef{1, 4}));
+  EXPECT_EQ(chain.back(), (NodeRef{1, 10}));
+}
+
+}  // namespace
+}  // namespace nucon

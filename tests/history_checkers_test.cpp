@@ -1,0 +1,234 @@
+// Hand-crafted histories exercising every clause of every detector-class
+// checker, both passing and failing.
+#include "fd/history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nucon {
+namespace {
+
+FailurePattern two_correct_one_faulty() {
+  FailurePattern fp(3);
+  fp.set_crash(2, 50);
+  return fp;
+}
+
+TEST(OmegaChecker, UnanimousSuffixPasses) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_leader(2));  // early noise: trusts the faulty one
+  h.add(1, 2, FdValue::of_leader(0));
+  h.add(0, 10, FdValue::of_leader(1));
+  h.add(1, 11, FdValue::of_leader(1));
+  EXPECT_TRUE(check_omega(h, fp).ok);
+}
+
+TEST(OmegaChecker, EternalDisagreementFails) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  for (Time t = 1; t <= 10; ++t) {
+    h.add(0, 2 * t, FdValue::of_leader(0));
+    h.add(1, 2 * t + 1, FdValue::of_leader(1));
+  }
+  EXPECT_FALSE(check_omega(h, fp).ok);
+}
+
+TEST(OmegaChecker, FaultyEventualLeaderFails) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_leader(2));
+  h.add(1, 2, FdValue::of_leader(2));
+  EXPECT_FALSE(check_omega(h, fp).ok);
+}
+
+TEST(OmegaChecker, FaultyModulesUnconstrained) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_leader(0));
+  h.add(1, 2, FdValue::of_leader(0));
+  h.add(2, 3, FdValue::of_leader(2));  // faulty process trusts itself forever
+  EXPECT_TRUE(check_omega(h, fp).ok);
+}
+
+TEST(OmegaChecker, NoSampleAfterViolationFails) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_leader(0));
+  h.add(1, 2, FdValue::of_leader(0));
+  h.add(0, 9, FdValue::of_leader(1));  // last sample of 0 disagrees
+  EXPECT_FALSE(check_omega(h, fp).ok);
+}
+
+TEST(SigmaChecker, IntersectingCompleteHistoryPasses) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_quorum(ProcessSet{0, 1, 2}));
+  h.add(1, 2, FdValue::of_quorum(ProcessSet{0, 2}));
+  h.add(2, 3, FdValue::of_quorum(ProcessSet{0, 1}));
+  h.add(0, 60, FdValue::of_quorum(ProcessSet{0, 1}));
+  h.add(1, 61, FdValue::of_quorum(ProcessSet{0, 1}));
+  EXPECT_TRUE(check_sigma(h, fp).ok);
+}
+
+TEST(SigmaChecker, FaultyDisjointQuorumFailsSigmaButPassesSigmaNu) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_quorum(ProcessSet{0, 1}));
+  h.add(1, 2, FdValue::of_quorum(ProcessSet{0, 1}));
+  h.add(2, 3, FdValue::of_quorum(ProcessSet{2}));  // faulty, disjoint
+  EXPECT_FALSE(check_sigma(h, fp).ok);
+  EXPECT_TRUE(check_sigma_nu(h, fp).ok);
+}
+
+TEST(SigmaNuChecker, CorrectDisjointQuorumsFail) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_quorum(ProcessSet{0}));
+  h.add(1, 2, FdValue::of_quorum(ProcessSet{1}));
+  const auto result = check_sigma_nu(h, fp);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("intersection"), std::string::npos);
+}
+
+TEST(SigmaNuChecker, StaleFaultyQuorumAtCorrectProcessFailsCompleteness) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  // Correct process 0 keeps outputting a quorum containing the faulty 2.
+  h.add(0, 60, FdValue::of_quorum(ProcessSet{0, 2}));
+  h.add(1, 61, FdValue::of_quorum(ProcessSet{0, 1}));
+  const auto result = check_sigma_nu(h, fp);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("completeness"), std::string::npos);
+}
+
+TEST(SigmaNuChecker, MissingQuorumComponentFails) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_leader(0));
+  EXPECT_FALSE(check_sigma_nu(h, fp).ok);
+}
+
+TEST(SigmaNuPlusChecker, LegalAdversarialHistoryPasses) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_quorum(ProcessSet{0, 1}));
+  h.add(1, 2, FdValue::of_quorum(ProcessSet{0, 1}));
+  h.add(2, 3, FdValue::of_quorum(ProcessSet{2}));  // faulty-only: legal
+  EXPECT_TRUE(check_sigma_nu_plus(h, fp).ok);
+}
+
+TEST(SigmaNuPlusChecker, SelfInclusionViolationFails) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_quorum(ProcessSet{1}));  // 0 not in its own quorum
+  h.add(1, 2, FdValue::of_quorum(ProcessSet{0, 1}));
+  const auto result = check_sigma_nu_plus(h, fp);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("self-inclusion"), std::string::npos);
+}
+
+TEST(SigmaNuPlusChecker, ConditionalNonintersectionViolationFails) {
+  FailurePattern fp(4);
+  fp.set_crash(3, 50);
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_quorum(ProcessSet{0, 1}));
+  h.add(1, 2, FdValue::of_quorum(ProcessSet{0, 1}));
+  // Faulty process 3 outputs a quorum disjoint from {0,1} that contains
+  // the CORRECT process 2: forbidden by conditional nonintersection.
+  h.add(3, 3, FdValue::of_quorum(ProcessSet{2, 3}));
+  h.add(2, 4, FdValue::of_quorum(ProcessSet{0, 1, 2}));
+  const auto result = check_sigma_nu_plus(h, fp);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("nonintersection"), std::string::npos);
+}
+
+TEST(PerfectChecker, ExactSuspicionPasses) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_suspects(ProcessSet{}));
+  h.add(0, 60, FdValue::of_suspects(ProcessSet{2}));
+  h.add(1, 61, FdValue::of_suspects(ProcessSet{2}));
+  EXPECT_TRUE(check_perfect(h, fp).ok);
+}
+
+TEST(PerfectChecker, PrematureSuspicionFails) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_suspects(ProcessSet{2}));  // 2 crashes at 50
+  h.add(0, 60, FdValue::of_suspects(ProcessSet{2}));
+  h.add(1, 61, FdValue::of_suspects(ProcessSet{2}));
+  const auto result = check_perfect(h, fp);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("accuracy"), std::string::npos);
+}
+
+TEST(PerfectChecker, MissedFaultyFailsCompleteness) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 60, FdValue::of_suspects(ProcessSet{2}));
+  h.add(1, 61, FdValue::of_suspects(ProcessSet{}));  // never suspects 2
+  EXPECT_FALSE(check_perfect(h, fp).ok);
+}
+
+TEST(EvtPerfectChecker, EarlyNoiseAllowed) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_suspects(ProcessSet{0, 1}));  // wrong, early
+  h.add(1, 2, FdValue::of_suspects(ProcessSet{1}));
+  h.add(0, 60, FdValue::of_suspects(ProcessSet{2}));
+  h.add(1, 61, FdValue::of_suspects(ProcessSet{2}));
+  EXPECT_FALSE(check_perfect(h, fp).ok);
+  EXPECT_TRUE(check_evt_perfect(h, fp).ok);
+}
+
+TEST(EvtPerfectChecker, PersistentWrongSuspicionFails) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 60, FdValue::of_suspects(ProcessSet{1, 2}));  // suspects correct 1
+  h.add(1, 61, FdValue::of_suspects(ProcessSet{2}));
+  EXPECT_FALSE(check_evt_perfect(h, fp).ok);
+}
+
+TEST(StrongChecker, OneNeverSuspectedPasses) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_suspects(ProcessSet{1, 2}));
+  h.add(0, 60, FdValue::of_suspects(ProcessSet{2}));
+  h.add(1, 61, FdValue::of_suspects(ProcessSet{2}));
+  EXPECT_TRUE(check_strong(h, fp).ok);  // 0 is never suspected
+}
+
+TEST(StrongChecker, EveryCorrectSuspectedSomewhereFails) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_suspects(ProcessSet{1}));
+  h.add(1, 2, FdValue::of_suspects(ProcessSet{0}));
+  h.add(0, 60, FdValue::of_suspects(ProcessSet{2}));
+  h.add(1, 61, FdValue::of_suspects(ProcessSet{2}));
+  EXPECT_FALSE(check_strong(h, fp).ok);
+  // ...but eventual weak accuracy is satisfied.
+  EXPECT_TRUE(check_evt_strong(h, fp).ok);
+}
+
+TEST(EvtStrongChecker, PerpetualMutualSuspicionFails) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  for (Time t = 1; t <= 10; ++t) {
+    h.add(0, 2 * t + 50, FdValue::of_suspects(ProcessSet{1, 2}));
+    h.add(1, 2 * t + 51, FdValue::of_suspects(ProcessSet{0, 2}));
+  }
+  EXPECT_FALSE(check_evt_strong(h, fp).ok);
+}
+
+TEST(HistoryRecord, OfFiltersByProcess) {
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_leader(0));
+  h.add(1, 2, FdValue::of_leader(1));
+  h.add(0, 3, FdValue::of_leader(2));
+  EXPECT_EQ(h.of(0).size(), 2u);
+  EXPECT_EQ(h.of(1).size(), 1u);
+  EXPECT_EQ(h.of(2).size(), 0u);
+}
+
+}  // namespace
+}  // namespace nucon

@@ -1,0 +1,168 @@
+// Capstone integration matrix: every consensus algorithm in the library,
+// run under its own detector stack across environments, must satisfy its
+// own solving predicate — and every recorded run must be structurally
+// valid and deterministically replayable. This is the "everything
+// composes" test tying the simulator, the oracles, the algorithms and the
+// checkers together.
+#include <gtest/gtest.h>
+
+#include "algo/ct_consensus.hpp"
+#include "algo/mr_consensus.hpp"
+#include "consensus_test_util.hpp"
+#include "core/anuc.hpp"
+#include "core/from_scratch.hpp"
+#include "core/stacked_nuc.hpp"
+#include "fd/scripted.hpp"
+
+namespace nucon {
+namespace {
+
+enum class AlgoKind {
+  kMrMajority,    // uniform consensus, needs a correct majority
+  kMrSigma,       // uniform consensus, any environment
+  kCt,            // uniform consensus, needs a correct majority
+  kAnuc,          // nonuniform consensus, any environment
+  kStacked,       // nonuniform consensus from raw Sigma^nu, any environment
+  kFromScratch,   // uniform consensus, no oracle, needs a correct majority
+};
+
+struct MatrixParam {
+  AlgoKind algo;
+  Pid n;
+  Pid faults;
+  std::uint64_t seed;
+};
+
+const char* algo_name(AlgoKind a) {
+  switch (a) {
+    case AlgoKind::kMrMajority: return "MrMajority";
+    case AlgoKind::kMrSigma: return "MrSigma";
+    case AlgoKind::kCt: return "Ct";
+    case AlgoKind::kAnuc: return "Anuc";
+    case AlgoKind::kStacked: return "Stacked";
+    case AlgoKind::kFromScratch: return "FromScratch";
+  }
+  return "?";
+}
+
+bool needs_majority(AlgoKind a) {
+  return a == AlgoKind::kMrMajority || a == AlgoKind::kCt ||
+         a == AlgoKind::kFromScratch;
+}
+
+bool uniform_predicate(AlgoKind a) {
+  return a != AlgoKind::kAnuc && a != AlgoKind::kStacked;
+}
+
+class IntegrationMatrix : public testing::TestWithParam<MatrixParam> {};
+
+TEST_P(IntegrationMatrix, SolvesItsConsensusVariant) {
+  const auto [algo, n, faults, seed] = GetParam();
+  constexpr Time kStabilize = 120;
+  const FailurePattern fp =
+      testutil::sweep_pattern({n, faults, seed}, kStabilize - 20);
+  ASSERT_TRUE(!needs_majority(algo) || is_majority(fp.correct(), n));
+
+  testutil::OracleStack stack;
+  ConsensusFactory make;
+  switch (algo) {
+    case AlgoKind::kMrMajority:
+      stack = testutil::omega_only(fp, kStabilize, seed);
+      make = make_mr_majority(n);
+      break;
+    case AlgoKind::kMrSigma:
+      stack = testutil::omega_sigma(fp, kStabilize, seed);
+      make = make_mr_fd_quorum(n);
+      break;
+    case AlgoKind::kCt:
+      stack = testutil::evt_strong(fp, kStabilize, seed);
+      make = make_ct(n);
+      break;
+    case AlgoKind::kAnuc:
+      stack = testutil::omega_sigma_nu_plus(fp, kStabilize, seed);
+      make = make_anuc(n);
+      break;
+    case AlgoKind::kStacked: {
+      testutil::OracleStack s;
+      OmegaOptions oo;
+      oo.stabilize_at = kStabilize;
+      oo.seed = seed;
+      s.first = std::make_unique<OmegaOracle>(fp, oo);
+      SigmaNuOptions so;
+      so.stabilize_at = kStabilize;
+      so.seed = seed + 5;
+      s.second = std::make_unique<SigmaNuOracle>(fp, so);
+      s.composed = std::make_unique<ComposedOracle>(*s.first, *s.second);
+      stack = std::move(s);
+      make = make_stacked_nuc(n);
+      break;
+    }
+    case AlgoKind::kFromScratch:
+      stack.first = std::make_unique<ScriptedOracle>(
+          [](Pid, Time) { return FdValue{}; });
+      make = make_from_scratch(n, static_cast<Pid>((n - 1) / 2));
+      break;
+  }
+
+  SchedulerOptions opts;
+  opts.seed = seed;
+  opts.max_steps = 300'000;
+
+  // Run via simulate_consensus so the recorded run is available for the
+  // structural and replay checks.
+  const auto proposals = testutil::mixed_proposals(n);
+  SimResult sim =
+      simulate_consensus(fp, stack.top(), make, proposals, opts);
+
+  const auto decisions = decisions_of(sim.automata);
+  const auto verdict = check_consensus(fp, proposals, decisions);
+
+  EXPECT_TRUE(all_correct_decided(fp, sim.automata))
+      << algo_name(algo) << " under " << fp.to_string();
+  EXPECT_TRUE(verdict.termination) << verdict.detail;
+  EXPECT_TRUE(verdict.validity) << verdict.detail;
+  EXPECT_TRUE(verdict.nonuniform_agreement) << verdict.detail;
+  if (uniform_predicate(algo)) {
+    EXPECT_TRUE(verdict.uniform_agreement) << verdict.detail;
+  }
+
+  // Model-level invariants of the recorded execution.
+  const auto violation = check_run_structure(sim.run);
+  EXPECT_FALSE(violation) << *violation;
+
+  const AutomatonFactory generic = [&make, &proposals](Pid p) {
+    return make(p, proposals[static_cast<std::size_t>(p)]);
+  };
+  const ReplayOutcome replayed = replay(sim.run, n, generic);
+  ASSERT_TRUE(replayed.ok) << replayed.error;
+  EXPECT_EQ(decisions_of(replayed.automata), decisions);
+}
+
+std::vector<MatrixParam> matrix() {
+  std::vector<MatrixParam> out;
+  for (const AlgoKind algo :
+       {AlgoKind::kMrMajority, AlgoKind::kMrSigma, AlgoKind::kCt,
+        AlgoKind::kAnuc, AlgoKind::kStacked, AlgoKind::kFromScratch}) {
+    for (Pid n : {3, 5}) {
+      std::vector<Pid> fault_choices = {0, static_cast<Pid>((n - 1) / 2)};
+      if (!needs_majority(algo)) fault_choices.push_back(static_cast<Pid>(n - 1));
+      for (Pid faults : fault_choices) {
+        for (std::uint64_t seed : {1ull, 2ull}) {
+          out.push_back({algo, n, faults, seed});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, IntegrationMatrix,
+                         testing::ValuesIn(matrix()), [](const auto& info) {
+                           return std::string(algo_name(info.param.algo)) +
+                                  "_n" + std::to_string(info.param.n) + "_f" +
+                                  std::to_string(info.param.faults) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace nucon

@@ -1,0 +1,181 @@
+// Executable Lemma 2.2: merging two mergeable finite runs yields a run of
+// the same algorithm, and every participant ends in the same state as in
+// its own original run.
+#include "sim/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/mr_consensus.hpp"
+#include "fd/scripted.hpp"
+#include "sim/scheduler.hpp"
+
+namespace nucon {
+namespace {
+
+constexpr Pid kN = 6;
+
+/// The MR quorum algorithm with proposals fixed per side; side A proposes
+/// 0, side B proposes 1 (a compatible joint initial configuration exists
+/// by construction: it is exactly this factory).
+AutomatonFactory split_factory() {
+  return [](Pid p) -> std::unique_ptr<Automaton> {
+    const Value proposal = p < kN / 2 ? 0 : 1;
+    return std::make_unique<MrConsensus>(
+        p, proposal, MrOptions{kN, MrQuorumMode::kFdQuorum});
+  };
+}
+
+struct TwoRuns {
+  SimResult a;
+  SimResult b;
+};
+
+/// Runs the algorithm twice under the SAME failure pattern and oracle
+/// (hence the same F and H), restricted to disjoint participant sets.
+TwoRuns make_disjoint_runs(Oracle& oracle, const FailurePattern& fp,
+                           std::uint64_t seed, std::int64_t steps) {
+  SchedulerOptions opts;
+  opts.seed = seed;
+  opts.max_steps = steps;
+
+  opts.restrict_to = ProcessSet{};
+  for (Pid p = 0; p < kN / 2; ++p) opts.restrict_to.insert(p);
+  SimResult a = simulate(fp, oracle, split_factory(), opts);
+
+  opts.restrict_to = ProcessSet{};
+  for (Pid p = kN / 2; p < kN; ++p) opts.restrict_to.insert(p);
+  opts.seed = seed + 1;
+  SimResult b = simulate(fp, oracle, split_factory(), opts);
+
+  return {std::move(a), std::move(b)};
+}
+
+/// An (Omega, Sigma^nu)-shaped oracle in which each half trusts itself —
+/// the partition-style history under which both halves make progress alone.
+ScriptedOracle partition_oracle() {
+  ProcessSet side_a, side_b;
+  for (Pid p = 0; p < kN / 2; ++p) side_a.insert(p);
+  for (Pid p = kN / 2; p < kN; ++p) side_b.insert(p);
+  return ScriptedOracle([side_a, side_b](Pid p, Time) {
+    const ProcessSet side = side_a.contains(p) ? side_a : side_b;
+    FdValue v = FdValue::of_quorum(side);
+    v.set_leader(side.min());
+    return v;
+  });
+}
+
+TEST(Merge, MergeableRequiresDisjointParticipants) {
+  const FailurePattern fp(kN);
+  auto oracle = partition_oracle();
+  const TwoRuns runs = make_disjoint_runs(oracle, fp, 11, 300);
+  EXPECT_TRUE(mergeable(runs.a.run, runs.b.run));
+  EXPECT_FALSE(mergeable(runs.a.run, runs.a.run));
+}
+
+TEST(Merge, MergedStepsInterleaveByTime) {
+  const FailurePattern fp(kN);
+  auto oracle = partition_oracle();
+  const TwoRuns runs = make_disjoint_runs(oracle, fp, 12, 300);
+  const auto merged = merge_runs(runs.a.run, runs.b.run);
+  ASSERT_TRUE(merged);
+  EXPECT_EQ(merged->steps.size(),
+            runs.a.run.steps.size() + runs.b.run.steps.size());
+  Time prev = -1;
+  for (const StepRecord& s : merged->steps) {
+    EXPECT_LE(prev, s.t);
+    prev = s.t;
+  }
+}
+
+TEST(Merge, PreservesPerRunOrder) {
+  const FailurePattern fp(kN);
+  auto oracle = partition_oracle();
+  const TwoRuns runs = make_disjoint_runs(oracle, fp, 13, 200);
+  const auto merged = merge_runs(runs.a.run, runs.b.run);
+  ASSERT_TRUE(merged);
+
+  std::vector<StepRecord> only_a;
+  for (const StepRecord& s : merged->steps) {
+    if (s.p < kN / 2) only_a.push_back(s);
+  }
+  ASSERT_EQ(only_a.size(), runs.a.run.steps.size());
+  for (std::size_t i = 0; i < only_a.size(); ++i) {
+    EXPECT_EQ(only_a[i].p, runs.a.run.steps[i].p);
+    EXPECT_EQ(only_a[i].t, runs.a.run.steps[i].t);
+  }
+}
+
+TEST(Merge, Lemma22MergedRunIsARunAndStatesAgree) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const FailurePattern fp(kN);
+    auto oracle = partition_oracle();
+    const TwoRuns runs = make_disjoint_runs(oracle, fp, seed, 400);
+
+    const auto merged = merge_runs(runs.a.run, runs.b.run);
+    ASSERT_TRUE(merged);
+
+    // (a) The merging is a run: structurally valid and applicable.
+    const auto violation = check_run_structure(*merged);
+    EXPECT_FALSE(violation) << *violation;
+    const ReplayOutcome outcome = replay(*merged, kN, split_factory());
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+
+    // (b) Each participant's state in S(I) equals its state in its own
+    // original run.
+    for (Pid p = 0; p < kN; ++p) {
+      const auto& original = p < kN / 2 ? runs.a : runs.b;
+      EXPECT_EQ(outcome.automata[static_cast<std::size_t>(p)]->snapshot(),
+                original.automata[static_cast<std::size_t>(p)]->snapshot())
+          << "process " << p << " seed " << seed;
+    }
+  }
+}
+
+TEST(Merge, PartitionedHalvesDecideDifferently) {
+  // The engine of Lemma 5.3: merged run where side A decides 0 and side B
+  // decides 1 — legal here because the naive algorithm's quorums do not
+  // intersect across sides.
+  const FailurePattern fp(kN);
+  auto oracle = partition_oracle();
+  const TwoRuns runs = make_disjoint_runs(oracle, fp, 21, 4000);
+
+  const auto merged = merge_runs(runs.a.run, runs.b.run);
+  ASSERT_TRUE(merged);
+  const ReplayOutcome outcome = replay(*merged, kN, split_factory());
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+
+  const auto decisions = decisions_of(outcome.automata);
+  bool decided0 = false;
+  bool decided1 = false;
+  for (Pid p = 0; p < kN; ++p) {
+    if (decisions[static_cast<std::size_t>(p)] == 0) decided0 = true;
+    if (decisions[static_cast<std::size_t>(p)] == 1) decided1 = true;
+  }
+  EXPECT_TRUE(decided0);
+  EXPECT_TRUE(decided1);
+}
+
+TEST(Merge, RejectsDifferentPatterns) {
+  const FailurePattern fp1(kN);
+  FailurePattern fp2(kN);
+  fp2.set_crash(0, 10);
+  nucon::Run r1(fp1);
+  nucon::Run r2(fp2);
+  std::string error;
+  EXPECT_FALSE(merge_runs(r1, r2, &error));
+  EXPECT_NE(error.find("failure patterns"), std::string::npos);
+}
+
+TEST(Merge, RejectsOverlappingParticipants) {
+  const FailurePattern fp(kN);
+  nucon::Run r1(fp);
+  r1.steps.push_back({0, std::nullopt, FdValue{}, 1});
+  nucon::Run r2(fp);
+  r2.steps.push_back({0, std::nullopt, FdValue{}, 2});
+  std::string error;
+  EXPECT_FALSE(merge_runs(r1, r2, &error));
+  EXPECT_NE(error.find("intersect"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nucon

@@ -1,0 +1,92 @@
+#include "sim/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nucon {
+namespace {
+
+Message make_msg(Pid from, std::uint64_t seq, Pid to, Time sent_at) {
+  Message m;
+  m.id = MsgId{from, seq};
+  m.to = to;
+  m.sent_at = sent_at;
+  m.payload = {static_cast<std::uint8_t>(seq)};
+  return m;
+}
+
+TEST(MessageBuffer, StartsEmpty) {
+  MessageBuffer b;
+  EXPECT_EQ(b.total_pending(), 0u);
+  EXPECT_EQ(b.pending_for(0), 0u);
+  EXPECT_FALSE(b.oldest_sent_at(0));
+}
+
+TEST(MessageBuffer, AddAndPeekFifoPerDestination) {
+  MessageBuffer b;
+  b.add(make_msg(0, 1, 2, 10));
+  b.add(make_msg(1, 1, 2, 11));
+  b.add(make_msg(0, 2, 3, 12));
+
+  EXPECT_EQ(b.total_pending(), 3u);
+  EXPECT_EQ(b.pending_for(2), 2u);
+  EXPECT_EQ(b.pending_for(3), 1u);
+  EXPECT_EQ(b.peek(2, 0).id, (MsgId{0, 1}));
+  EXPECT_EQ(b.peek(2, 1).id, (MsgId{1, 1}));
+}
+
+TEST(MessageBuffer, TakeRemoves) {
+  MessageBuffer b;
+  b.add(make_msg(0, 1, 1, 5));
+  b.add(make_msg(0, 2, 1, 6));
+  const Message m = b.take(1, 0);
+  EXPECT_EQ(m.id.seq, 1u);
+  EXPECT_EQ(b.pending_for(1), 1u);
+  EXPECT_EQ(b.total_pending(), 1u);
+  EXPECT_EQ(b.peek(1, 0).id.seq, 2u);
+}
+
+TEST(MessageBuffer, TakeMiddle) {
+  MessageBuffer b;
+  for (std::uint64_t s = 1; s <= 3; ++s) b.add(make_msg(0, s, 1, 0));
+  const Message m = b.take(1, 1);
+  EXPECT_EQ(m.id.seq, 2u);
+  EXPECT_EQ(b.peek(1, 0).id.seq, 1u);
+  EXPECT_EQ(b.peek(1, 1).id.seq, 3u);
+}
+
+TEST(MessageBuffer, TakeByIdFindsAnywhere) {
+  MessageBuffer b;
+  b.add(make_msg(0, 1, 1, 0));
+  b.add(make_msg(2, 7, 1, 0));
+  const auto m = b.take_by_id(1, MsgId{2, 7});
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->id, (MsgId{2, 7}));
+  EXPECT_EQ(b.pending_for(1), 1u);
+}
+
+TEST(MessageBuffer, TakeByIdMissing) {
+  MessageBuffer b;
+  b.add(make_msg(0, 1, 1, 0));
+  EXPECT_FALSE(b.take_by_id(1, MsgId{0, 99}));
+  EXPECT_FALSE(b.take_by_id(2, MsgId{0, 1}));  // wrong destination
+  EXPECT_EQ(b.total_pending(), 1u);
+}
+
+TEST(MessageBuffer, OldestSentAt) {
+  MessageBuffer b;
+  b.add(make_msg(0, 1, 1, 30));
+  b.add(make_msg(0, 2, 1, 10));
+  b.add(make_msg(0, 3, 1, 20));
+  EXPECT_EQ(b.oldest_sent_at(1), 10);
+}
+
+TEST(MessageBuffer, PayloadPreserved) {
+  MessageBuffer b;
+  Message m = make_msg(3, 9, 0, 1);
+  m.payload = {1, 2, 3, 4};
+  b.add(std::move(m));
+  EXPECT_EQ(b.take(0, 0).payload, (Bytes{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace nucon

@@ -1,0 +1,77 @@
+// Properties of the oracle construction helpers: the noisy-superset
+// generator and the deterministic mix underlie every oracle's legality, so
+// they get their own property tests.
+#include "fd/oracle_base.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nucon {
+namespace {
+
+TEST(OracleMix, DeterministicInAllArguments) {
+  EXPECT_EQ(oracle_mix(1, 2, 3, 4), oracle_mix(1, 2, 3, 4));
+  EXPECT_NE(oracle_mix(1, 2, 3, 4), oracle_mix(2, 2, 3, 4));
+  EXPECT_NE(oracle_mix(1, 2, 3, 4), oracle_mix(1, 3, 3, 4));
+  EXPECT_NE(oracle_mix(1, 2, 3, 4), oracle_mix(1, 2, 4, 4));
+  EXPECT_NE(oracle_mix(1, 2, 3, 4), oracle_mix(1, 2, 3, 5));
+}
+
+TEST(OracleMix, SpreadsAcrossTime) {
+  std::set<std::uint64_t> seen;
+  for (Time t = 0; t < 1000; ++t) seen.insert(oracle_mix(7, 0, t));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(NoisySuperset, AlwaysContainsTheCore) {
+  const ProcessSet core{1, 3};
+  const ProcessSet universe = ProcessSet::full(8);
+  for (std::uint64_t mix = 0; mix < 500; ++mix) {
+    const ProcessSet q = noisy_superset(core, universe, mix);
+    EXPECT_TRUE(core.is_subset_of(q)) << q.to_string();
+    EXPECT_TRUE(q.is_subset_of(universe | core)) << q.to_string();
+  }
+}
+
+TEST(NoisySuperset, StaysInsideUniversePlusCore) {
+  const ProcessSet core{0};
+  const ProcessSet universe{0, 1, 2};
+  for (std::uint64_t mix = 0; mix < 200; ++mix) {
+    EXPECT_TRUE(noisy_superset(core, universe, mix)
+                    .is_subset_of(ProcessSet{0, 1, 2}));
+  }
+}
+
+TEST(NoisySuperset, CoreOutsideUniverseIsStillIncluded) {
+  // The Sigma^nu+ oracle uses noisy_superset({p, kernel}, correct | {p}):
+  // a faulty p stays included even though it is outside the stable
+  // universe.
+  const ProcessSet core{5};
+  const ProcessSet universe{0, 1};
+  for (std::uint64_t mix = 0; mix < 100; ++mix) {
+    EXPECT_TRUE(noisy_superset(core, universe, mix).contains(5));
+  }
+}
+
+TEST(NoisySuperset, ActuallyVaries) {
+  const ProcessSet core{0};
+  const ProcessSet universe = ProcessSet::full(10);
+  std::set<std::uint64_t> distinct;
+  for (std::uint64_t mix = 0; mix < 200; ++mix) {
+    distinct.insert(noisy_superset(core, universe, mix).mask());
+  }
+  EXPECT_GT(distinct.size(), 20u);
+}
+
+TEST(NoisySuperset, DeterministicPerMix) {
+  const ProcessSet core{2};
+  const ProcessSet universe = ProcessSet::full(6);
+  for (std::uint64_t mix : {0ull, 17ull, 999ull}) {
+    EXPECT_EQ(noisy_superset(core, universe, mix),
+              noisy_superset(core, universe, mix));
+  }
+}
+
+}  // namespace
+}  // namespace nucon

@@ -1,0 +1,75 @@
+// Theorem 7.1, ONLY-IF direction: with t >= n/2, every candidate
+// transformation from (Omega, Sigma^nu) to Sigma is defeated — either its
+// emulated quorums on the two partition sides are disjoint (intersection
+// violated in the merged run R') or a side never achieves completeness.
+#include "core/partition_argument.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nucon {
+namespace {
+
+TEST(PartitionArgument, IdentityCandidateIsDefeated) {
+  for (Pid n : {2, 4, 6}) {
+    const auto result =
+        run_partition_argument(n, make_identity_candidate(), 4000, 1);
+    EXPECT_EQ(result.outcome, PartitionOutcome::kIntersectionViolated)
+        << "n=" << n << ": " << result.detail;
+    EXPECT_FALSE(result.quorum_a.intersects(result.quorum_b));
+    EXPECT_TRUE(result.quorum_a.is_subset_of(result.side_a));
+    EXPECT_TRUE(result.quorum_b.is_subset_of(result.side_b));
+  }
+}
+
+TEST(PartitionArgument, GossipUnionCandidateIsDefeated) {
+  for (Pid n : {4, 6}) {
+    const auto result =
+        run_partition_argument(n, make_gossip_union_candidate(n), 4000, 2);
+    EXPECT_EQ(result.outcome, PartitionOutcome::kIntersectionViolated)
+        << "n=" << n << ": " << result.detail;
+  }
+}
+
+TEST(PartitionArgument, WaitForNMinusTCandidateIsDefeated) {
+  for (Pid n : {4, 6}) {
+    const auto result = run_partition_argument(
+        n, make_wait_for_n_minus_t_candidate(n), 6000, 3);
+    EXPECT_EQ(result.outcome, PartitionOutcome::kIntersectionViolated)
+        << "n=" << n << ": " << result.detail;
+  }
+}
+
+TEST(PartitionArgument, MergedRunIsAValidRun) {
+  // The defeat is witnessed by a genuine merged run (Lemma 2.2): the
+  // schedule replays, and the witnesses' outputs in the merged run match
+  // the originals.
+  const auto result =
+      run_partition_argument(6, make_identity_candidate(), 4000, 4);
+  ASSERT_EQ(result.outcome, PartitionOutcome::kIntersectionViolated);
+  EXPECT_TRUE(result.merged_run_valid);
+  EXPECT_GE(result.tau, 0);
+  EXPECT_NE(result.witness_a, -1);
+  EXPECT_NE(result.witness_b, -1);
+}
+
+TEST(PartitionArgument, SidesPartitionTheSystem) {
+  const auto result =
+      run_partition_argument(5, make_identity_candidate(), 2000, 5);
+  EXPECT_EQ(result.side_a | result.side_b, ProcessSet::full(5));
+  EXPECT_FALSE(result.side_a.intersects(result.side_b));
+  // Both sides have size <= ceil(n/2) <= t, so both crash sets are in E_t.
+  EXPECT_LE(result.side_a.size(), 3);
+  EXPECT_LE(result.side_b.size(), 3);
+}
+
+TEST(PartitionArgument, OddSystemSizes) {
+  for (Pid n : {3, 5, 7}) {
+    const auto result =
+        run_partition_argument(n, make_identity_candidate(), 4000, 6);
+    EXPECT_EQ(result.outcome, PartitionOutcome::kIntersectionViolated)
+        << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace nucon

@@ -1,0 +1,132 @@
+#include "util/process_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace nucon {
+namespace {
+
+TEST(ProcessSet, DefaultIsEmpty) {
+  ProcessSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.mask(), 0u);
+}
+
+TEST(ProcessSet, InitializerList) {
+  ProcessSet s{0, 2, 5};
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(5));
+}
+
+TEST(ProcessSet, FullSet) {
+  EXPECT_EQ(ProcessSet::full(0).size(), 0);
+  EXPECT_EQ(ProcessSet::full(1).size(), 1);
+  EXPECT_EQ(ProcessSet::full(5).size(), 5);
+  EXPECT_EQ(ProcessSet::full(64).size(), 64);
+  EXPECT_TRUE(ProcessSet::full(64).contains(63));
+  EXPECT_FALSE(ProcessSet::full(5).contains(5));
+}
+
+TEST(ProcessSet, InsertErase) {
+  ProcessSet s;
+  s.insert(7);
+  EXPECT_TRUE(s.contains(7));
+  s.insert(7);  // idempotent
+  EXPECT_EQ(s.size(), 1);
+  s.erase(7);
+  EXPECT_TRUE(s.empty());
+  s.erase(7);  // idempotent
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ProcessSet, SetOperations) {
+  const ProcessSet a{0, 1, 2};
+  const ProcessSet b{2, 3};
+  EXPECT_EQ((a | b), (ProcessSet{0, 1, 2, 3}));
+  EXPECT_EQ((a & b), ProcessSet{2});
+  EXPECT_EQ((a - b), (ProcessSet{0, 1}));
+  EXPECT_EQ((b - a), ProcessSet{3});
+}
+
+TEST(ProcessSet, CompoundAssignment) {
+  ProcessSet a{0, 1};
+  a |= ProcessSet{2};
+  EXPECT_EQ(a, (ProcessSet{0, 1, 2}));
+  a &= ProcessSet{1, 2, 3};
+  EXPECT_EQ(a, (ProcessSet{1, 2}));
+}
+
+TEST(ProcessSet, Intersects) {
+  EXPECT_TRUE((ProcessSet{0, 1}).intersects(ProcessSet{1, 2}));
+  EXPECT_FALSE((ProcessSet{0, 1}).intersects(ProcessSet{2, 3}));
+  EXPECT_FALSE(ProcessSet{}.intersects(ProcessSet{0}));
+  EXPECT_FALSE(ProcessSet{}.intersects(ProcessSet{}));
+}
+
+TEST(ProcessSet, SubsetOf) {
+  EXPECT_TRUE((ProcessSet{1}).is_subset_of(ProcessSet{0, 1}));
+  EXPECT_TRUE(ProcessSet{}.is_subset_of(ProcessSet{}));
+  EXPECT_TRUE(ProcessSet{}.is_subset_of(ProcessSet{5}));
+  EXPECT_FALSE((ProcessSet{0, 2}).is_subset_of(ProcessSet{0, 1}));
+  EXPECT_TRUE((ProcessSet{0, 2}).is_subset_of(ProcessSet{0, 1, 2}));
+}
+
+TEST(ProcessSet, MinMax) {
+  const ProcessSet s{3, 17, 41};
+  EXPECT_EQ(s.min(), 3);
+  EXPECT_EQ(s.max(), 41);
+  EXPECT_EQ(ProcessSet::single(0).min(), 0);
+  EXPECT_EQ(ProcessSet::single(63).max(), 63);
+}
+
+TEST(ProcessSet, IterationOrder) {
+  const ProcessSet s{9, 1, 33, 5};
+  std::vector<Pid> seen;
+  for (Pid p : s) seen.push_back(p);
+  EXPECT_EQ(seen, (std::vector<Pid>{1, 5, 9, 33}));
+}
+
+TEST(ProcessSet, IterationEmpty) {
+  int count = 0;
+  for (Pid p : ProcessSet{}) {
+    (void)p;
+    ++count;
+  }
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ProcessSet, ToString) {
+  EXPECT_EQ(ProcessSet{}.to_string(), "{}");
+  EXPECT_EQ((ProcessSet{0, 2, 5}).to_string(), "{0,2,5}");
+}
+
+TEST(ProcessSet, Majority) {
+  EXPECT_TRUE(is_majority(ProcessSet{0, 1}, 3));
+  EXPECT_FALSE(is_majority(ProcessSet{0}, 3));
+  EXPECT_FALSE(is_majority(ProcessSet{0, 1}, 4));
+  EXPECT_TRUE(is_majority(ProcessSet{0, 1, 2}, 4));
+  EXPECT_FALSE(is_majority(ProcessSet{}, 1));
+}
+
+TEST(ProcessSet, Ordering) {
+  // Total order (mask order) enables sorted unique containers.
+  std::set<ProcessSet> sets;
+  sets.insert(ProcessSet{0});
+  sets.insert(ProcessSet{1});
+  sets.insert(ProcessSet{0});
+  EXPECT_EQ(sets.size(), 2u);
+}
+
+TEST(ProcessSet, FromMaskRoundTrip) {
+  const ProcessSet s{2, 7, 63};
+  EXPECT_EQ(ProcessSet::from_mask(s.mask()), s);
+}
+
+}  // namespace
+}  // namespace nucon

@@ -1,0 +1,157 @@
+// Unit tests for the distrust machinery (paper Fig. 5, Lemmas 6.20-6.22).
+#include "core/quorum_history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nucon {
+namespace {
+
+TEST(QuorumHistory, StartsEmpty) {
+  const QuorumHistory h(4);
+  for (Pid q = 0; q < 4; ++q) EXPECT_TRUE(h.of(q).empty());
+  EXPECT_EQ(h.size(), 0u);
+}
+
+TEST(QuorumHistory, InsertDeduplicates) {
+  QuorumHistory h(3);
+  h.insert(1, ProcessSet{0, 1});
+  h.insert(1, ProcessSet{0, 1});
+  h.insert(1, ProcessSet{1, 2});
+  EXPECT_EQ(h.of(1).size(), 2u);
+  EXPECT_TRUE(h.knows(1, ProcessSet{0, 1}));
+  EXPECT_TRUE(h.knows(1, ProcessSet{1, 2}));
+  EXPECT_FALSE(h.knows(1, ProcessSet{0, 2}));
+  EXPECT_FALSE(h.knows(0, ProcessSet{0, 1}));
+}
+
+TEST(QuorumHistory, ImportIsPointwiseUnion) {
+  QuorumHistory a(3);
+  a.insert(0, ProcessSet{0});
+  QuorumHistory b(3);
+  b.insert(0, ProcessSet{0, 1});
+  b.insert(2, ProcessSet{2});
+  a.import(b);
+  EXPECT_EQ(a.of(0).size(), 2u);
+  EXPECT_TRUE(a.knows(2, ProcessSet{2}));
+  // Import is idempotent.
+  a.import(b);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(QuorumHistory, ConsideredFaultyNeedsOwnQuorumDisjointness) {
+  QuorumHistory h(4);
+  h.insert(0, ProcessSet{0, 1});  // own quorum of process 0
+  h.insert(3, ProcessSet{2, 3});  // disjoint from {0,1}
+  h.insert(2, ProcessSet{1, 2});  // intersects {0,1}
+  const ProcessSet f = h.considered_faulty(0);
+  EXPECT_TRUE(f.contains(3));
+  EXPECT_FALSE(f.contains(2));
+  EXPECT_FALSE(f.contains(0));
+}
+
+TEST(QuorumHistory, SelfNeverConsideredFaultyUnderSelfInclusion) {
+  // Lemma 6.20: with self-inclusive quorums, p never lands in F_p.
+  QuorumHistory h(4);
+  h.insert(0, ProcessSet{0, 1});
+  h.insert(0, ProcessSet{0, 2});
+  h.insert(0, ProcessSet{0, 3});
+  EXPECT_FALSE(h.considered_faulty(0).contains(0));
+}
+
+TEST(QuorumHistory, DistrustOfConsideredFaulty) {
+  // Lemma 6.22: q in F_p implies p distrusts q (witnessed by r = p, which
+  // is not in F_p).
+  QuorumHistory h(4);
+  h.insert(0, ProcessSet{0, 1});
+  h.insert(3, ProcessSet{2, 3});
+  EXPECT_TRUE(h.considered_faulty(0).contains(3));
+  EXPECT_TRUE(h.distrusts(0, 3));
+}
+
+TEST(QuorumHistory, DistrustViaThirdParty) {
+  // p's own quorums intersect everyone, but two OTHER processes conflict:
+  // p distrusts each of them (neither is in F_p, so each witnesses against
+  // the other).
+  QuorumHistory h(4);
+  h.insert(0, ProcessSet{0, 1, 2, 3});  // own quorum: intersects all
+  h.insert(1, ProcessSet{0, 1});
+  h.insert(2, ProcessSet{2, 3});
+  EXPECT_TRUE(h.considered_faulty(0).empty());
+  EXPECT_TRUE(h.distrusts(0, 1));
+  EXPECT_TRUE(h.distrusts(0, 2));
+}
+
+TEST(QuorumHistory, ConsideredFaultyWitnessDoesNotCountForDistrust) {
+  // The conflict {2,3} vs {0,1} exists, but 3 is already in F_0 (its
+  // quorum misses 0's own), so 3 cannot serve as the trusted witness r
+  // against process 1: distrust needs a conflict with some r NOT in F_p.
+  QuorumHistory h(4);
+  h.insert(0, ProcessSet{0, 1});
+  h.insert(3, ProcessSet{2, 3});
+  h.insert(1, ProcessSet{0, 1});
+  EXPECT_TRUE(h.distrusts(0, 3));
+  EXPECT_FALSE(h.distrusts(0, 1));
+}
+
+TEST(QuorumHistory, NoDistrustWhenAllIntersect) {
+  QuorumHistory h(3);
+  h.insert(0, ProcessSet{0, 1});
+  h.insert(1, ProcessSet{1, 2});
+  h.insert(2, ProcessSet{0, 2});
+  for (Pid q = 0; q < 3; ++q) EXPECT_FALSE(h.distrusts(0, q)) << q;
+}
+
+TEST(QuorumHistory, DistrustIsMonotone) {
+  // Observation 6.10/6.11: quorums are only added, so distrust never
+  // reverts.
+  QuorumHistory h(4);
+  h.insert(0, ProcessSet{0, 1});
+  EXPECT_FALSE(h.distrusts(0, 3));
+  h.insert(3, ProcessSet{2, 3});
+  EXPECT_TRUE(h.distrusts(0, 3));
+  h.insert(3, ProcessSet{0, 1, 2, 3});  // a later benign quorum
+  EXPECT_TRUE(h.distrusts(0, 3));       // the old conflict still stands
+}
+
+TEST(QuorumHistory, EncodeDecodeRoundTrip) {
+  QuorumHistory h(5);
+  h.insert(0, ProcessSet{0, 1});
+  h.insert(3, ProcessSet{2, 3, 4});
+  h.insert(3, ProcessSet{3});
+  ByteWriter w;
+  h.encode(w);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  const auto got = QuorumHistory::decode(r);
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->n(), 5);
+  EXPECT_EQ(got->size(), 3u);
+  EXPECT_TRUE(got->knows(0, ProcessSet{0, 1}));
+  EXPECT_TRUE(got->knows(3, ProcessSet{2, 3, 4}));
+  EXPECT_TRUE(got->knows(3, ProcessSet{3}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(QuorumHistory, DecodeRejectsTruncated) {
+  QuorumHistory h(3);
+  h.insert(0, ProcessSet{0});
+  ByteWriter w;
+  h.encode(w);
+  Bytes buf = w.take();
+  buf.pop_back();
+  ByteReader r(buf);
+  EXPECT_FALSE(QuorumHistory::decode(r));
+}
+
+TEST(QuorumHistory, EmptyQuorumConflictsWithEverything) {
+  // An empty quorum in someone's history is disjoint from every quorum,
+  // including one's own: its owner is considered faulty.
+  QuorumHistory h(3);
+  h.insert(0, ProcessSet{0});
+  h.insert(1, ProcessSet{});
+  EXPECT_TRUE(h.considered_faulty(0).contains(1));
+  EXPECT_TRUE(h.distrusts(0, 1));
+}
+
+}  // namespace
+}  // namespace nucon

@@ -1,0 +1,125 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace nucon {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneIsZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeDegenerate) {
+  Rng rng(17);
+  EXPECT_EQ(rng.range(4, 4), 4);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0, 100));
+    EXPECT_TRUE(rng.chance(100, 100));
+  }
+}
+
+TEST(Rng, ChanceRoughlyFair) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(1, 2);
+  EXPECT_GT(hits, 4500);
+  EXPECT_LT(hits, 5500);
+}
+
+TEST(Rng, PickFromSet) {
+  Rng rng(29);
+  const ProcessSet s{1, 4, 9};
+  std::map<Pid, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    const Pid p = rng.pick(s);
+    EXPECT_TRUE(s.contains(p));
+    ++counts[p];
+  }
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [p, c] : counts) EXPECT_GT(c, 700) << p;
+}
+
+TEST(Rng, PickSubsetExactSize) {
+  Rng rng(31);
+  const ProcessSet universe = ProcessSet::full(10);
+  for (int k = 0; k <= 10; ++k) {
+    const ProcessSet s = rng.pick_subset(universe, k);
+    EXPECT_EQ(s.size(), k);
+    EXPECT_TRUE(s.is_subset_of(universe));
+  }
+}
+
+TEST(Rng, PickSubsetVaries) {
+  Rng rng(37);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(rng.pick_subset(ProcessSet::full(8), 4).mask());
+  }
+  EXPECT_GT(seen.size(), 20u);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(41);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (child1.next() == child2.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Splitmix, KnownGolden) {
+  // splitmix64 with state 0 must produce the published first output.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafULL);
+}
+
+}  // namespace
+}  // namespace nucon

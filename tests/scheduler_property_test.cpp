@@ -1,0 +1,132 @@
+// Scheduler-adversary property sweep: consensus safety, run-structure
+// validity and replay determinism must hold under EVERY combination of
+// delivery-policy knobs (lambda probability, reordering, fairness-backstop
+// age) — the knobs only select among legal asynchronous schedules.
+#include <gtest/gtest.h>
+
+#include "algo/harness.hpp"
+#include "algo/mr_consensus.hpp"
+#include "core/anuc.hpp"
+#include "fd/composed.hpp"
+#include "fd/omega.hpp"
+#include "fd/sigma.hpp"
+#include "fd/sigma_nu.hpp"
+
+namespace nucon {
+namespace {
+
+struct Knobs {
+  int lambda_percent;
+  int shuffle_percent;
+  Time max_message_age;
+  std::uint64_t seed;
+};
+
+class SchedulerKnobSweep : public testing::TestWithParam<Knobs> {};
+
+TEST_P(SchedulerKnobSweep, AnucSafeAndLiveUnderAnyDeliveryPolicy) {
+  const auto [lambda, shuffle, age, seed] = GetParam();
+  FailurePattern fp(4);
+  fp.set_crash(3, 70);
+
+  OmegaOptions oo;
+  oo.stabilize_at = 100;
+  oo.seed = seed;
+  OmegaOracle omega(fp, oo);
+  SigmaNuPlusOptions so;
+  so.stabilize_at = 100;
+  so.seed = seed + 1;
+  SigmaNuPlusOracle sigma(fp, so);
+  ComposedOracle oracle(omega, sigma);
+
+  SchedulerOptions opts;
+  opts.seed = seed;
+  opts.max_steps = 200'000;
+  opts.lambda_percent = lambda;
+  opts.shuffle_percent = shuffle;
+  opts.max_message_age = age;
+
+  const ConsensusRunStats stats =
+      run_consensus(fp, oracle, make_anuc(4), {0, 1, 1, 0}, opts);
+  EXPECT_TRUE(stats.all_correct_decided)
+      << "lambda=" << lambda << " shuffle=" << shuffle << " age=" << age;
+  EXPECT_TRUE(stats.verdict.solves_nonuniform()) << stats.verdict.detail;
+}
+
+TEST_P(SchedulerKnobSweep, RunsRemainStructurallyValidAndReplayable) {
+  const auto [lambda, shuffle, age, seed] = GetParam();
+  FailurePattern fp(4);
+  fp.set_crash(1, 50);
+
+  OmegaOptions oo;
+  oo.stabilize_at = 80;
+  oo.seed = seed;
+  OmegaOracle omega(fp, oo);
+  SigmaOptions so;
+  so.stabilize_at = 80;
+  so.seed = seed + 1;
+  SigmaOracle sigma_oracle(fp, so);
+  ComposedOracle oracle(omega, sigma_oracle);
+
+  SchedulerOptions opts;
+  opts.seed = seed;
+  opts.max_steps = 6'000;
+  opts.lambda_percent = lambda;
+  opts.shuffle_percent = shuffle;
+  opts.max_message_age = age;
+
+  const ConsensusFactory make = make_mr_fd_quorum(4);
+  const AutomatonFactory factory = [&make](Pid p) { return make(p, p % 2); };
+  const SimResult sim = simulate(fp, oracle, factory, opts);
+
+  const auto violation = check_run_structure(sim.run);
+  EXPECT_FALSE(violation) << *violation;
+
+  const ReplayOutcome replayed = replay(sim.run, 4, factory);
+  ASSERT_TRUE(replayed.ok) << replayed.error;
+  for (Pid p = 0; p < 4; ++p) {
+    EXPECT_EQ(sim.automata[static_cast<std::size_t>(p)]->snapshot(),
+              replayed.automata[static_cast<std::size_t>(p)]->snapshot());
+  }
+}
+
+std::vector<Knobs> knob_grid() {
+  std::vector<Knobs> out;
+  for (int lambda : {0, 20, 60}) {
+    for (int shuffle : {0, 50, 100}) {
+      for (Time age : {8, 64, 512}) {
+        out.push_back({lambda, shuffle, age, 31});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SchedulerKnobSweep,
+                         testing::ValuesIn(knob_grid()), [](const auto& info) {
+                           return "l" + std::to_string(info.param.lambda_percent) +
+                                  "_s" + std::to_string(info.param.shuffle_percent) +
+                                  "_a" + std::to_string(info.param.max_message_age);
+                         });
+
+TEST(SchedulerKnobs, ExtremeLambdaStillTerminatesViaBackstop) {
+  // 90% lambda: almost every step refuses delivery; the fairness backstop
+  // alone must carry liveness.
+  const FailurePattern fp(3);
+  OmegaOptions oo;
+  OmegaOracle omega(fp, oo);
+  SigmaNuPlusOptions so;
+  SigmaNuPlusOracle sigma(fp, so);
+  ComposedOracle oracle(omega, sigma);
+
+  SchedulerOptions opts;
+  opts.seed = 5;
+  opts.max_steps = 300'000;
+  opts.lambda_percent = 90;
+  const ConsensusRunStats stats =
+      run_consensus(fp, oracle, make_anuc(3), {2, 2, 2}, opts);
+  EXPECT_TRUE(stats.all_correct_decided);
+}
+
+}  // namespace
+}  // namespace nucon

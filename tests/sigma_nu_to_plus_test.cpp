@@ -1,0 +1,118 @@
+// T_{Sigma^nu -> Sigma^nu+} (paper Fig. 3, Theorem 6.7): the emulated
+// output history must satisfy all four Sigma^nu+ properties whenever the
+// input samples come from a legal Sigma^nu oracle — including fully
+// adversarial faulty behavior.
+#include "core/sigma_nu_to_plus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "consensus_test_util.hpp"
+#include "fd/history.hpp"
+
+namespace nucon {
+namespace {
+
+using testutil::SweepParam;
+
+constexpr Time kStabilize = 60;
+
+struct BoostOutcome {
+  RecordedHistory emulated;
+  std::vector<std::int64_t> outputs_per_process;
+};
+
+BoostOutcome run_boost(const FailurePattern& fp, std::uint64_t seed,
+                       FaultyQuorumBehavior behavior, std::int64_t steps) {
+  SigmaNuOptions so;
+  so.stabilize_at = kStabilize;
+  so.seed = seed;
+  so.faulty = behavior;
+  SigmaNuOracle oracle(fp, so);
+
+  BoostOutcome outcome;
+  SchedulerOptions opts;
+  opts.seed = seed;
+  opts.max_steps = steps;
+  opts = with_emulation_recording(std::move(opts), outcome.emulated);
+
+  const SimResult sim =
+      simulate(fp, oracle, make_sigma_nu_to_plus(fp.n()), opts);
+  for (Pid p = 0; p < fp.n(); ++p) {
+    outcome.outputs_per_process.push_back(
+        static_cast<const SigmaNuToPlus*>(
+            sim.automata[static_cast<std::size_t>(p)].get())
+            ->outputs_produced());
+  }
+  return outcome;
+}
+
+class BoostSweep : public testing::TestWithParam<SweepParam> {};
+
+TEST_P(BoostSweep, EmulatedHistoryIsInSigmaNuPlus) {
+  const FailurePattern fp = testutil::sweep_pattern(GetParam(), kStabilize - 15);
+  const BoostOutcome outcome = run_boost(
+      fp, GetParam().seed, FaultyQuorumBehavior::kAdversarialDisjoint, 2500);
+
+  ASSERT_FALSE(outcome.emulated.empty());
+  const auto result = check_sigma_nu_plus(outcome.emulated, fp);
+  EXPECT_TRUE(result.ok) << result.detail << " under " << fp.to_string();
+}
+
+TEST_P(BoostSweep, CorrectProcessesKeepProducingQuorums) {
+  const FailurePattern fp = testutil::sweep_pattern(GetParam(), kStabilize - 15);
+  const BoostOutcome outcome =
+      run_boost(fp, GetParam().seed + 77, FaultyQuorumBehavior::kBenign, 2500);
+  for (Pid p : fp.correct()) {
+    EXPECT_GT(outcome.outputs_per_process[static_cast<std::size_t>(p)], 3)
+        << "process " << p << " under " << fp.to_string();
+  }
+}
+
+std::vector<SweepParam> boost_params() {
+  std::vector<SweepParam> out;
+  for (Pid n : {2, 3, 4, 5}) {
+    for (Pid faults = 0; faults < n; ++faults) {
+      for (std::uint64_t seed : {1ull, 2ull}) {
+        out.push_back({n, faults, seed});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BoostSweep, testing::ValuesIn(boost_params()),
+                         testutil::sweep_name);
+
+TEST(Boost, OutputsAreSelfInclusiveFromTheStart) {
+  // Self-inclusion must hold for EVERY emitted value including the initial
+  // Pi, at every process, at every time — check the raw record.
+  const FailurePattern fp(4);
+  const BoostOutcome outcome =
+      run_boost(fp, 5, FaultyQuorumBehavior::kAdversarialDisjoint, 1500);
+  for (const Sample& s : outcome.emulated.samples()) {
+    EXPECT_TRUE(s.value.quorum().contains(s.p));
+  }
+}
+
+TEST(Boost, EventualOutputsShrinkToCorrect) {
+  FailurePattern fp(4);
+  fp.set_crash(3, 30);
+  const BoostOutcome outcome =
+      run_boost(fp, 6, FaultyQuorumBehavior::kAdversarialDisjoint, 3000);
+  // The LAST emitted quorum of each correct process contains only correct
+  // processes (completeness, witnessed concretely).
+  for (Pid p : fp.correct()) {
+    const auto samples = outcome.emulated.of(p);
+    ASSERT_FALSE(samples.empty());
+    EXPECT_TRUE(samples.back().value.quorum().is_subset_of(fp.correct()))
+        << samples.back().value.quorum().to_string();
+  }
+}
+
+TEST(Boost, InitialOutputIsPi) {
+  SigmaNuToPlus a(2, 5);
+  EXPECT_EQ(a.emulated_output().quorum(), ProcessSet::full(5));
+}
+
+}  // namespace
+}  // namespace nucon

@@ -1,0 +1,113 @@
+// The Theorem 6.28 construction: nonuniform consensus from raw
+// (Omega, Sigma^nu) — the transformation and A_nuc stacked in one
+// automaton — must solve nonuniform consensus in any environment, even
+// with fully adversarial faulty Sigma^nu modules.
+#include "core/stacked_nuc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "consensus_test_util.hpp"
+#include "fd/composed.hpp"
+#include "fd/sigma_nu.hpp"
+
+namespace nucon {
+namespace {
+
+using testutil::SweepParam;
+
+constexpr Time kStabilize = 80;
+
+testutil::OracleStack omega_sigma_nu_raw(const FailurePattern& fp,
+                                         std::uint64_t seed) {
+  testutil::OracleStack s;
+  OmegaOptions oo;
+  oo.stabilize_at = kStabilize;
+  oo.seed = seed;
+  s.first = std::make_unique<OmegaOracle>(fp, oo);
+  SigmaNuOptions so;
+  so.stabilize_at = kStabilize;
+  so.seed = seed + 0x51;
+  so.faulty = FaultyQuorumBehavior::kAdversarialDisjoint;
+  s.second = std::make_unique<SigmaNuOracle>(fp, so);
+  s.composed = std::make_unique<ComposedOracle>(*s.first, *s.second);
+  return s;
+}
+
+class StackedSweep : public testing::TestWithParam<SweepParam> {};
+
+TEST_P(StackedSweep, SolvesNonuniformConsensusFromRawSigmaNu) {
+  const FailurePattern fp = testutil::sweep_pattern(GetParam(), kStabilize - 20);
+  auto oracle = omega_sigma_nu_raw(fp, GetParam().seed);
+
+  SchedulerOptions opts;
+  opts.seed = GetParam().seed;
+  opts.max_steps = 250'000;
+  const auto stats =
+      run_consensus(fp, oracle.top(), make_stacked_nuc(GetParam().n),
+                    testutil::mixed_proposals(GetParam().n), opts);
+
+  EXPECT_TRUE(stats.all_correct_decided) << fp.to_string();
+  EXPECT_TRUE(stats.verdict.termination) << stats.verdict.detail;
+  EXPECT_TRUE(stats.verdict.validity) << stats.verdict.detail;
+  EXPECT_TRUE(stats.verdict.nonuniform_agreement) << stats.verdict.detail;
+}
+
+std::vector<SweepParam> stacked_params() {
+  std::vector<SweepParam> out;
+  for (Pid n : {2, 3, 4, 5}) {
+    for (Pid faults = 0; faults < n; ++faults) {
+      for (std::uint64_t seed : {1ull, 2ull}) {
+        out.push_back({n, faults, seed});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StackedSweep,
+                         testing::ValuesIn(stacked_params()),
+                         testutil::sweep_name);
+
+TEST(StackedNuc, ToleratesCorrectMinority) {
+  FailurePattern fp(4);
+  fp.set_crash(1, 30);
+  fp.set_crash(2, 45);
+  fp.set_crash(3, 60);
+  auto oracle = omega_sigma_nu_raw(fp, 7);
+  SchedulerOptions opts;
+  opts.seed = 7;
+  opts.max_steps = 250'000;
+  const auto stats = run_consensus(fp, oracle.top(), make_stacked_nuc(4),
+                                   testutil::mixed_proposals(4), opts);
+  EXPECT_TRUE(stats.all_correct_decided);
+  EXPECT_TRUE(stats.verdict.solves_nonuniform()) << stats.verdict.detail;
+}
+
+TEST(StackedNuc, TransformationOutputsShrinkFromPi) {
+  const FailurePattern fp(3);
+  auto oracle = omega_sigma_nu_raw(fp, 9);
+  SchedulerOptions opts;
+  opts.seed = 9;
+  opts.max_steps = 250'000;
+  SimResult sim = simulate_consensus(fp, oracle.top(), make_stacked_nuc(3),
+                                     {0, 1, 0}, opts);
+  for (Pid p = 0; p < 3; ++p) {
+    const auto* a = static_cast<const StackedNuc*>(
+        sim.automata[static_cast<std::size_t>(p)].get());
+    EXPECT_GT(a->transformation().outputs_produced(), 0) << p;
+  }
+}
+
+TEST(StackedNuc, GarbledChannelByteIsDropped) {
+  StackedNuc a(0, 1, 3);
+  std::vector<Outgoing> out;
+  const Bytes junk = {0x7F, 1, 2, 3};  // unknown channel
+  const Incoming in{1, &junk};
+  FdValue d = FdValue::of_leader(0);
+  d.set_quorum(ProcessSet{0, 1, 2});
+  a.step(&in, d, out);  // must not crash; both components saw lambda
+  EXPECT_FALSE(a.decision());
+}
+
+}  // namespace
+}  // namespace nucon

@@ -1,0 +1,66 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nucon {
+namespace {
+
+TEST(Accumulator, Empty) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, Basic) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(3.0);
+  a.add(2.0);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(Accumulator, NegativeValues) {
+  Accumulator a;
+  a.add(-5.0);
+  a.add(5.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), -5.0);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW({ (void)t.render(); });
+}
+
+TEST(TextTable, FmtIntegers) {
+  EXPECT_EQ(TextTable::fmt(3.0), "3");
+  EXPECT_EQ(TextTable::fmt(-2.0), "-2");
+  EXPECT_EQ(TextTable::fmt(0.0), "0");
+}
+
+TEST(TextTable, FmtFractions) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(0.5, 1), "0.5");
+}
+
+}  // namespace
+}  // namespace nucon

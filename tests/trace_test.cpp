@@ -1,0 +1,76 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nucon {
+namespace {
+
+nucon::Run tiny_run() {
+  FailurePattern fp(2);
+  fp.set_crash(1, 50);
+  nucon::Run run(fp);
+  StepRecord a;
+  a.p = 0;
+  a.t = 1;
+  a.d = FdValue::of_leader(0);
+  run.steps.push_back(a);
+  StepRecord b;
+  b.p = 1;
+  b.t = 2;
+  b.received = MsgId{0, 1};
+  b.d = FdValue::of_quorum(ProcessSet{0, 1});
+  run.steps.push_back(b);
+  return run;
+}
+
+TEST(Trace, RendersHeaderAndSteps) {
+  const std::string out = render_trace(tiny_run());
+  EXPECT_NE(out.find("F{n=2, 1@50}"), std::string::npos);
+  EXPECT_NE(out.find("2 steps"), std::string::npos);
+  EXPECT_NE(out.find("t=1  p0  recv(lambda)"), std::string::npos);
+  EXPECT_NE(out.find("t=2  p1  recv(0#1)"), std::string::npos);
+  EXPECT_NE(out.find("leader=0"), std::string::npos);
+  EXPECT_NE(out.find("quorum={0,1}"), std::string::npos);
+}
+
+TEST(Trace, HidesFdOnRequest) {
+  TraceOptions opts;
+  opts.show_fd = false;
+  const std::string out = render_trace(tiny_run(), opts);
+  EXPECT_EQ(out.find("leader="), std::string::npos);
+}
+
+TEST(Trace, TruncatesLongRuns) {
+  nucon::Run run((FailurePattern(2)));
+  for (Time t = 1; t <= 100; ++t) {
+    StepRecord s;
+    s.p = static_cast<Pid>(t % 2);
+    s.t = t;
+    run.steps.push_back(s);
+  }
+  TraceOptions opts;
+  opts.max_steps = 10;
+  const std::string out = render_trace(run, opts);
+  EXPECT_NE(out.find("90 steps elided"), std::string::npos);
+  EXPECT_NE(out.find("t=1 "), std::string::npos);
+  EXPECT_NE(out.find("t=100"), std::string::npos);
+  EXPECT_EQ(out.find("t=50 "), std::string::npos);
+}
+
+TEST(Trace, ZeroMaxStepsMeansEverything) {
+  nucon::Run run((FailurePattern(2)));
+  for (Time t = 1; t <= 30; ++t) {
+    StepRecord s;
+    s.p = 0;
+    s.t = t;
+    run.steps.push_back(s);
+  }
+  TraceOptions opts;
+  opts.max_steps = 0;
+  const std::string out = render_trace(run, opts);
+  EXPECT_EQ(out.find("elided"), std::string::npos);
+  EXPECT_NE(out.find("t=17"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nucon

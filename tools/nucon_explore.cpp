@@ -1,0 +1,239 @@
+// nucon_explore: run any consensus algorithm in the library under a chosen
+// environment and oracle family, and inspect the outcome.
+//
+//   nucon_explore --algo anuc --n 5 --faults 2 --seed 7
+//   nucon_explore --algo naive --faulty-mode adversarial --seeds 50
+//   nucon_explore --algo from-scratch --n 7 --trace 40
+//
+// Flags:
+//   --algo X         anuc | stacked | mr-majority | mr-sigma | naive |
+//                    ct | ben-or | from-scratch        (default anuc)
+//   --n N            system size                        (default 5)
+//   --faults F       number of crashes                  (default 1)
+//   --seed S         first scheduler/oracle seed        (default 1)
+//   --seeds K        run K consecutive seeds            (default 1)
+//   --stabilize T    oracle stabilization time          (default 120)
+//   --crash-at T     pin all crashes at time T (0 = spread randomly)
+//   --max-steps M    step budget per run                (default 200000)
+//   --faulty-mode X  benign | noise | adversarial       (default adversarial)
+//   --trace N        print the first/last N steps of the run
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "algo/ben_or.hpp"
+#include "algo/ct_consensus.hpp"
+#include "algo/harness.hpp"
+#include "algo/mr_consensus.hpp"
+#include "core/anuc.hpp"
+#include "core/from_scratch.hpp"
+#include "core/stacked_nuc.hpp"
+#include "fd/classic.hpp"
+#include "fd/composed.hpp"
+#include "fd/omega.hpp"
+#include "fd/scripted.hpp"
+#include "fd/sigma.hpp"
+#include "fd/sigma_nu.hpp"
+#include "sim/trace.hpp"
+
+using namespace nucon;
+
+namespace {
+
+struct Cli {
+  std::string algo = "anuc";
+  Pid n = 5;
+  Pid faults = 1;
+  std::uint64_t seed = 1;
+  int seeds = 1;
+  Time stabilize = 120;
+  Time crash_at = 0;
+  std::int64_t max_steps = 200'000;
+  std::string faulty_mode = "adversarial";
+  std::size_t trace = 0;
+};
+
+FaultyQuorumBehavior parse_mode(const std::string& mode) {
+  if (mode == "benign") return FaultyQuorumBehavior::kBenign;
+  if (mode == "noise") return FaultyQuorumBehavior::kNoise;
+  return FaultyQuorumBehavior::kAdversarialDisjoint;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--algo anuc|stacked|mr-majority|mr-sigma|naive|ct|"
+               "ben-or|from-scratch]\n"
+               "  [--n N] [--faults F] [--seed S] [--seeds K] "
+               "[--stabilize T] [--crash-at T]\n"
+               "  [--max-steps M] [--faulty-mode benign|noise|adversarial] "
+               "[--trace N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (flag == "--algo" && (value = next())) {
+      cli.algo = value;
+    } else if (flag == "--n" && (value = next())) {
+      cli.n = static_cast<Pid>(std::atoi(value));
+    } else if (flag == "--faults" && (value = next())) {
+      cli.faults = static_cast<Pid>(std::atoi(value));
+    } else if (flag == "--seed" && (value = next())) {
+      cli.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--seeds" && (value = next())) {
+      cli.seeds = std::atoi(value);
+    } else if (flag == "--stabilize" && (value = next())) {
+      cli.stabilize = std::atoll(value);
+    } else if (flag == "--crash-at" && (value = next())) {
+      cli.crash_at = std::atoll(value);
+    } else if (flag == "--max-steps" && (value = next())) {
+      cli.max_steps = std::atoll(value);
+    } else if (flag == "--faulty-mode" && (value = next())) {
+      cli.faulty_mode = value;
+    } else if (flag == "--trace" && (value = next())) {
+      cli.trace = static_cast<std::size_t>(std::atoll(value));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (cli.n < 2 || cli.n > kMaxProcesses || cli.faults < 0 ||
+      cli.faults >= cli.n || cli.seeds < 1) {
+    return usage(argv[0]);
+  }
+
+  int violations = 0;
+  int undecided = 0;
+  for (int k = 0; k < cli.seeds; ++k) {
+    const std::uint64_t seed = cli.seed + static_cast<std::uint64_t>(k);
+
+    FailurePattern fp(cli.n);
+    {
+      Rng rng(seed * 2654435761ULL + 99);
+      for (Pid p : rng.pick_subset(ProcessSet::full(cli.n), cli.faults)) {
+        fp.set_crash(p, cli.crash_at > 0
+                            ? cli.crash_at
+                            : rng.range(10, std::max<Time>(cli.stabilize - 10, 11)));
+      }
+    }
+
+    // Build the oracle stack and the factory for the chosen algorithm.
+    OmegaOptions oo;
+    oo.stabilize_at = cli.stabilize;
+    oo.seed = seed;
+    OmegaOracle omega(fp, oo);
+    SigmaOptions so;
+    so.stabilize_at = cli.stabilize;
+    so.seed = seed + 0x51;
+    SigmaOracle sigma(fp, so);
+    SigmaNuOptions sno;
+    sno.stabilize_at = cli.stabilize;
+    sno.seed = seed + 0x52;
+    sno.faulty = parse_mode(cli.faulty_mode);
+    SigmaNuOracle sigma_nu(fp, sno);
+    SigmaNuPlusOptions spo;
+    spo.stabilize_at = cli.stabilize;
+    spo.seed = seed + 0x53;
+    spo.faulty = parse_mode(cli.faulty_mode);
+    SigmaNuPlusOracle sigma_nu_plus(fp, spo);
+    SuspectsOptions sso;
+    sso.stabilize_at = cli.stabilize;
+    sso.seed = seed + 0x54;
+    EvtStrongOracle evt_strong(fp, sso);
+    ScriptedOracle none([](Pid, Time) { return FdValue{}; });
+    ComposedOracle omega_and_sigma(omega, sigma);
+    ComposedOracle omega_and_nu(omega, sigma_nu);
+    ComposedOracle omega_and_nu_plus(omega, sigma_nu_plus);
+
+    Oracle* oracle = nullptr;
+    ConsensusFactory make;
+    const char* expect = "nonuniform";
+    if (cli.algo == "anuc") {
+      oracle = &omega_and_nu_plus;
+      make = make_anuc(cli.n);
+    } else if (cli.algo == "stacked") {
+      oracle = &omega_and_nu;
+      make = make_stacked_nuc(cli.n);
+    } else if (cli.algo == "mr-majority") {
+      oracle = &omega;
+      make = make_mr_majority(cli.n);
+      expect = "uniform";
+    } else if (cli.algo == "mr-sigma") {
+      oracle = &omega_and_sigma;
+      make = make_mr_fd_quorum(cli.n);
+      expect = "uniform";
+    } else if (cli.algo == "naive") {
+      oracle = &omega_and_nu;
+      make = make_mr_fd_quorum(cli.n);
+      expect = "nonuniform (NOT guaranteed: the broken §6.3 substitution)";
+    } else if (cli.algo == "ct") {
+      oracle = &evt_strong;
+      make = make_ct(cli.n);
+      expect = "uniform";
+    } else if (cli.algo == "ben-or") {
+      oracle = &none;
+      make = make_ben_or(cli.n, static_cast<Pid>((cli.n - 1) / 2), seed);
+      expect = "uniform";
+    } else if (cli.algo == "from-scratch") {
+      oracle = &none;
+      make = make_from_scratch(cli.n, static_cast<Pid>((cli.n - 1) / 2));
+      expect = "uniform";
+    } else {
+      return usage(argv[0]);
+    }
+
+    std::vector<Value> proposals(static_cast<std::size_t>(cli.n));
+    for (Pid p = 0; p < cli.n; ++p) proposals[static_cast<std::size_t>(p)] = p % 2;
+
+    SchedulerOptions opts;
+    opts.seed = seed;
+    opts.max_steps = cli.max_steps;
+    SimResult sim = simulate_consensus(fp, *oracle, make, proposals, opts);
+    const auto decisions = decisions_of(sim.automata);
+    const auto verdict = check_consensus(fp, proposals, decisions);
+
+    std::printf("[seed %llu] %s, %s, expect %s consensus\n",
+                (unsigned long long)seed, cli.algo.c_str(),
+                fp.to_string().c_str(), expect);
+    for (Pid p = 0; p < cli.n; ++p) {
+      const auto& d = decisions[static_cast<std::size_t>(p)];
+      std::printf("  p%d (%s) proposed %lld -> %s\n", p,
+                  fp.is_correct(p) ? "correct" : "faulty ",
+                  (long long)proposals[static_cast<std::size_t>(p)],
+                  d ? std::to_string(*d).c_str() : "undecided");
+    }
+    std::printf(
+        "  steps=%zu msgs=%zu bytes=%zu | termination=%d validity=%d "
+        "agreement(nonuniform=%d uniform=%d)%s%s\n",
+        sim.run.steps.size(), sim.messages_sent, sim.bytes_sent,
+        verdict.termination, verdict.validity, verdict.nonuniform_agreement,
+        verdict.uniform_agreement, verdict.detail.empty() ? "" : " | ",
+        verdict.detail.c_str());
+
+    if (cli.trace > 0) {
+      TraceOptions to;
+      to.max_steps = cli.trace;
+      std::printf("%s", render_trace(sim.run, to).c_str());
+    }
+
+    violations += !verdict.nonuniform_agreement;
+    undecided += !all_correct_decided(fp, sim.automata);
+  }
+
+  if (cli.seeds > 1) {
+    std::printf(
+        "\nsummary: %d runs, %d undecided, %d nonuniform-agreement "
+        "violations\n",
+        cli.seeds, undecided, violations);
+  }
+  return 0;
+}
