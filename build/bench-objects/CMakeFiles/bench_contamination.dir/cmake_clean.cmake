@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_contamination"
+  "../bench/bench_contamination.pdb"
+  "CMakeFiles/bench_contamination.dir/bench_contamination.cpp.o"
+  "CMakeFiles/bench_contamination.dir/bench_contamination.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contamination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_dag"
+  "../bench/bench_fig1_dag.pdb"
+  "CMakeFiles/bench_fig1_dag.dir/bench_fig1_dag.cpp.o"
+  "CMakeFiles/bench_fig1_dag.dir/bench_fig1_dag.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

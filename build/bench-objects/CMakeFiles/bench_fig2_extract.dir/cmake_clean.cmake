@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_extract"
+  "../bench/bench_fig2_extract.pdb"
+  "CMakeFiles/bench_fig2_extract.dir/bench_fig2_extract.cpp.o"
+  "CMakeFiles/bench_fig2_extract.dir/bench_fig2_extract.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_boost"
+  "../bench/bench_fig3_boost.pdb"
+  "CMakeFiles/bench_fig3_boost.dir/bench_fig3_boost.cpp.o"
+  "CMakeFiles/bench_fig3_boost.dir/bench_fig3_boost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_boost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig45_anuc"
+  "../bench/bench_fig45_anuc.pdb"
+  "CMakeFiles/bench_fig45_anuc.dir/bench_fig45_anuc.cpp.o"
+  "CMakeFiles/bench_fig45_anuc.dir/bench_fig45_anuc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig45_anuc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

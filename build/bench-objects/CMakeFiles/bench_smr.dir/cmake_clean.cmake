@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_smr"
+  "../bench/bench_smr.pdb"
+  "CMakeFiles/bench_smr.dir/bench_smr.cpp.o"
+  "CMakeFiles/bench_smr.dir/bench_smr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

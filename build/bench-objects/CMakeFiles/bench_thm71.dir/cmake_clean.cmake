@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thm71"
+  "../bench/bench_thm71.pdb"
+  "CMakeFiles/bench_thm71.dir/bench_thm71.cpp.o"
+  "CMakeFiles/bench_thm71.dir/bench_thm71.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm71.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contamination_demo.dir/contamination_demo.cpp.o"
+  "CMakeFiles/contamination_demo.dir/contamination_demo.cpp.o.d"
+  "contamination_demo"
+  "contamination_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contamination_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakest_fd_tour.dir/weakest_fd_tour.cpp.o"
+  "CMakeFiles/weakest_fd_tour.dir/weakest_fd_tour.cpp.o.d"
+  "weakest_fd_tour"
+  "weakest_fd_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakest_fd_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

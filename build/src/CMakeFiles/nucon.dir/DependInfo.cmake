@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/ben_or.cpp" "src/CMakeFiles/nucon.dir/algo/ben_or.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/algo/ben_or.cpp.o.d"
+  "/root/repo/src/algo/ct_consensus.cpp" "src/CMakeFiles/nucon.dir/algo/ct_consensus.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/algo/ct_consensus.cpp.o.d"
+  "/root/repo/src/algo/harness.cpp" "src/CMakeFiles/nucon.dir/algo/harness.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/algo/harness.cpp.o.d"
+  "/root/repo/src/algo/mr_omega.cpp" "src/CMakeFiles/nucon.dir/algo/mr_omega.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/algo/mr_omega.cpp.o.d"
+  "/root/repo/src/algo/naive_sigma_nu.cpp" "src/CMakeFiles/nucon.dir/algo/naive_sigma_nu.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/algo/naive_sigma_nu.cpp.o.d"
+  "/root/repo/src/check/consensus_checker.cpp" "src/CMakeFiles/nucon.dir/check/consensus_checker.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/check/consensus_checker.cpp.o.d"
+  "/root/repo/src/check/model_checker.cpp" "src/CMakeFiles/nucon.dir/check/model_checker.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/check/model_checker.cpp.o.d"
+  "/root/repo/src/core/anuc.cpp" "src/CMakeFiles/nucon.dir/core/anuc.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/core/anuc.cpp.o.d"
+  "/root/repo/src/core/extract_sigma_nu.cpp" "src/CMakeFiles/nucon.dir/core/extract_sigma_nu.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/core/extract_sigma_nu.cpp.o.d"
+  "/root/repo/src/core/from_scratch.cpp" "src/CMakeFiles/nucon.dir/core/from_scratch.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/core/from_scratch.cpp.o.d"
+  "/root/repo/src/core/omega_election.cpp" "src/CMakeFiles/nucon.dir/core/omega_election.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/core/omega_election.cpp.o.d"
+  "/root/repo/src/core/partition_argument.cpp" "src/CMakeFiles/nucon.dir/core/partition_argument.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/core/partition_argument.cpp.o.d"
+  "/root/repo/src/core/quorum_history.cpp" "src/CMakeFiles/nucon.dir/core/quorum_history.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/core/quorum_history.cpp.o.d"
+  "/root/repo/src/core/sigma_from_majority.cpp" "src/CMakeFiles/nucon.dir/core/sigma_from_majority.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/core/sigma_from_majority.cpp.o.d"
+  "/root/repo/src/core/sigma_nu_to_plus.cpp" "src/CMakeFiles/nucon.dir/core/sigma_nu_to_plus.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/core/sigma_nu_to_plus.cpp.o.d"
+  "/root/repo/src/core/stacked_nuc.cpp" "src/CMakeFiles/nucon.dir/core/stacked_nuc.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/core/stacked_nuc.cpp.o.d"
+  "/root/repo/src/dag/dag_builder.cpp" "src/CMakeFiles/nucon.dir/dag/dag_builder.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/dag/dag_builder.cpp.o.d"
+  "/root/repo/src/dag/sample_dag.cpp" "src/CMakeFiles/nucon.dir/dag/sample_dag.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/dag/sample_dag.cpp.o.d"
+  "/root/repo/src/dag/schedule_sim.cpp" "src/CMakeFiles/nucon.dir/dag/schedule_sim.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/dag/schedule_sim.cpp.o.d"
+  "/root/repo/src/fd/classic.cpp" "src/CMakeFiles/nucon.dir/fd/classic.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/fd/classic.cpp.o.d"
+  "/root/repo/src/fd/composed.cpp" "src/CMakeFiles/nucon.dir/fd/composed.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/fd/composed.cpp.o.d"
+  "/root/repo/src/fd/history.cpp" "src/CMakeFiles/nucon.dir/fd/history.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/fd/history.cpp.o.d"
+  "/root/repo/src/fd/omega.cpp" "src/CMakeFiles/nucon.dir/fd/omega.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/fd/omega.cpp.o.d"
+  "/root/repo/src/fd/reductions.cpp" "src/CMakeFiles/nucon.dir/fd/reductions.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/fd/reductions.cpp.o.d"
+  "/root/repo/src/fd/sigma.cpp" "src/CMakeFiles/nucon.dir/fd/sigma.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/fd/sigma.cpp.o.d"
+  "/root/repo/src/fd/sigma_nu.cpp" "src/CMakeFiles/nucon.dir/fd/sigma_nu.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/fd/sigma_nu.cpp.o.d"
+  "/root/repo/src/fd/sigma_nu_plus.cpp" "src/CMakeFiles/nucon.dir/fd/sigma_nu_plus.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/fd/sigma_nu_plus.cpp.o.d"
+  "/root/repo/src/reg/abd.cpp" "src/CMakeFiles/nucon.dir/reg/abd.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/reg/abd.cpp.o.d"
+  "/root/repo/src/reg/harness.cpp" "src/CMakeFiles/nucon.dir/reg/harness.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/reg/harness.cpp.o.d"
+  "/root/repo/src/reg/linearizability.cpp" "src/CMakeFiles/nucon.dir/reg/linearizability.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/reg/linearizability.cpp.o.d"
+  "/root/repo/src/sim/failure_pattern.cpp" "src/CMakeFiles/nucon.dir/sim/failure_pattern.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/sim/failure_pattern.cpp.o.d"
+  "/root/repo/src/sim/merge.cpp" "src/CMakeFiles/nucon.dir/sim/merge.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/sim/merge.cpp.o.d"
+  "/root/repo/src/sim/message.cpp" "src/CMakeFiles/nucon.dir/sim/message.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/sim/message.cpp.o.d"
+  "/root/repo/src/sim/run.cpp" "src/CMakeFiles/nucon.dir/sim/run.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/sim/run.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/nucon.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/nucon.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/smr/replicated_log.cpp" "src/CMakeFiles/nucon.dir/smr/replicated_log.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/smr/replicated_log.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "src/CMakeFiles/nucon.dir/util/bytes.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/util/bytes.cpp.o.d"
+  "/root/repo/src/util/fd_value.cpp" "src/CMakeFiles/nucon.dir/util/fd_value.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/util/fd_value.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/nucon.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/nucon.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

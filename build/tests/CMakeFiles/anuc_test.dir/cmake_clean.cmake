@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anuc_test.dir/anuc_test.cpp.o"
+  "CMakeFiles/anuc_test.dir/anuc_test.cpp.o.d"
+  "anuc_test"
+  "anuc_test.pdb"
+  "anuc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anuc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ben_or_test.
+# This may be replaced when dependencies are built.

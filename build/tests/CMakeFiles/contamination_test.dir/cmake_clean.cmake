@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contamination_test.dir/contamination_test.cpp.o"
+  "CMakeFiles/contamination_test.dir/contamination_test.cpp.o.d"
+  "contamination_test"
+  "contamination_test.pdb"
+  "contamination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contamination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_sigma_nu_test.dir/extract_sigma_nu_test.cpp.o"
+  "CMakeFiles/extract_sigma_nu_test.dir/extract_sigma_nu_test.cpp.o.d"
+  "extract_sigma_nu_test"
+  "extract_sigma_nu_test.pdb"
+  "extract_sigma_nu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_sigma_nu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_pattern_test.dir/failure_pattern_test.cpp.o"
+  "CMakeFiles/failure_pattern_test.dir/failure_pattern_test.cpp.o.d"
+  "failure_pattern_test"
+  "failure_pattern_test.pdb"
+  "failure_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

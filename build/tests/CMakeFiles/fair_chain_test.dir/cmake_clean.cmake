@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_chain_test.dir/fair_chain_test.cpp.o"
+  "CMakeFiles/fair_chain_test.dir/fair_chain_test.cpp.o.d"
+  "fair_chain_test"
+  "fair_chain_test.pdb"
+  "fair_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

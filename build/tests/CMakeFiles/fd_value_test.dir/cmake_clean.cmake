@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_value_test.dir/fd_value_test.cpp.o"
+  "CMakeFiles/fd_value_test.dir/fd_value_test.cpp.o.d"
+  "fd_value_test"
+  "fd_value_test.pdb"
+  "fd_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_checkers_test.dir/history_checkers_test.cpp.o"
+  "CMakeFiles/history_checkers_test.dir/history_checkers_test.cpp.o.d"
+  "history_checkers_test"
+  "history_checkers_test.pdb"
+  "history_checkers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_checkers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

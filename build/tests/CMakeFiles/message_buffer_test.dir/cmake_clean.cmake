@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_buffer_test.dir/message_buffer_test.cpp.o"
+  "CMakeFiles/message_buffer_test.dir/message_buffer_test.cpp.o.d"
+  "message_buffer_test"
+  "message_buffer_test.pdb"
+  "message_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

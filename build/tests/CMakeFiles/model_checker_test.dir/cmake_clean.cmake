@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_checker_test.dir/model_checker_test.cpp.o"
+  "CMakeFiles/model_checker_test.dir/model_checker_test.cpp.o.d"
+  "model_checker_test"
+  "model_checker_test.pdb"
+  "model_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_consensus_test.dir/mr_consensus_test.cpp.o"
+  "CMakeFiles/mr_consensus_test.dir/mr_consensus_test.cpp.o.d"
+  "mr_consensus_test"
+  "mr_consensus_test.pdb"
+  "mr_consensus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_consensus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_election_test.dir/omega_election_test.cpp.o"
+  "CMakeFiles/omega_election_test.dir/omega_election_test.cpp.o.d"
+  "omega_election_test"
+  "omega_election_test.pdb"
+  "omega_election_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_election_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_base_test.dir/oracle_base_test.cpp.o"
+  "CMakeFiles/oracle_base_test.dir/oracle_base_test.cpp.o.d"
+  "oracle_base_test"
+  "oracle_base_test.pdb"
+  "oracle_base_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_argument_test.dir/partition_argument_test.cpp.o"
+  "CMakeFiles/partition_argument_test.dir/partition_argument_test.cpp.o.d"
+  "partition_argument_test"
+  "partition_argument_test.pdb"
+  "partition_argument_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_argument_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_history_test.dir/quorum_history_test.cpp.o"
+  "CMakeFiles/quorum_history_test.dir/quorum_history_test.cpp.o.d"
+  "quorum_history_test"
+  "quorum_history_test.pdb"
+  "quorum_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

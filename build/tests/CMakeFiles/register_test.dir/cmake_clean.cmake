@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_test.dir/register_test.cpp.o"
+  "CMakeFiles/register_test.dir/register_test.cpp.o.d"
+  "register_test"
+  "register_test.pdb"
+  "register_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

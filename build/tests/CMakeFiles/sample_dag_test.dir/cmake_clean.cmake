@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_dag_test.dir/sample_dag_test.cpp.o"
+  "CMakeFiles/sample_dag_test.dir/sample_dag_test.cpp.o.d"
+  "sample_dag_test"
+  "sample_dag_test.pdb"
+  "sample_dag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_dag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_sim_test.dir/schedule_sim_test.cpp.o"
+  "CMakeFiles/schedule_sim_test.dir/schedule_sim_test.cpp.o.d"
+  "schedule_sim_test"
+  "schedule_sim_test.pdb"
+  "schedule_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigma_from_majority_test.dir/sigma_from_majority_test.cpp.o"
+  "CMakeFiles/sigma_from_majority_test.dir/sigma_from_majority_test.cpp.o.d"
+  "sigma_from_majority_test"
+  "sigma_from_majority_test.pdb"
+  "sigma_from_majority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigma_from_majority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

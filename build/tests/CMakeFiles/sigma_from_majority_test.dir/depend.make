@@ -1,0 +1,2 @@
+# Empty dependencies file for sigma_from_majority_test.
+# This may be replaced when dependencies are built.

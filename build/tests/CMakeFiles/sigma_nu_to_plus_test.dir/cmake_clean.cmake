@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigma_nu_to_plus_test.dir/sigma_nu_to_plus_test.cpp.o"
+  "CMakeFiles/sigma_nu_to_plus_test.dir/sigma_nu_to_plus_test.cpp.o.d"
+  "sigma_nu_to_plus_test"
+  "sigma_nu_to_plus_test.pdb"
+  "sigma_nu_to_plus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigma_nu_to_plus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

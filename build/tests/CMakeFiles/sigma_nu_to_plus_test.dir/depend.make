@@ -1,0 +1,2 @@
+# Empty dependencies file for sigma_nu_to_plus_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacked_nuc_test.dir/stacked_nuc_test.cpp.o"
+  "CMakeFiles/stacked_nuc_test.dir/stacked_nuc_test.cpp.o.d"
+  "stacked_nuc_test"
+  "stacked_nuc_test.pdb"
+  "stacked_nuc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacked_nuc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

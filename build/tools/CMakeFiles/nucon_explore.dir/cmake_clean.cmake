@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nucon_explore.dir/nucon_explore.cpp.o"
+  "CMakeFiles/nucon_explore.dir/nucon_explore.cpp.o.d"
+  "nucon_explore"
+  "nucon_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nucon_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
