@@ -10,81 +10,67 @@
 //   MR + Sigma (control)  — no violations of either kind.
 // The crossover the paper proves: the quorum-history machinery is exactly
 // what separates row 2 from row 1.
+#include <thread>
+
 #include "bench_util.hpp"
-#include "algo/mr_consensus.hpp"
 #include "algo/naive_sigma_nu.hpp"
-#include "core/anuc.hpp"
+#include "exp/sweep.hpp"
 
 namespace nucon::bench {
 namespace {
 
-struct ViolationRow {
-  int runs = 0;
-  int undecided = 0;
-  int uniform_violations = 0;
-  int nonuniform_violations = 0;
-  double mean_decide_round = 0;
-};
-
-ViolationRow run_family(const ConsensusFactory& make, bool plus_oracle,
-                        bool sigma_control, int seeds) {
+/// The §6.3 family as a sweep grid: one crash pinned mid-run, oracles
+/// stabilizing after it, seeds 1..k — executed on the parallel engine.
+exp::SweepGrid family_grid(exp::Algo algo, int seeds) {
   const ContaminationSetup setup;
-  ViolationRow row;
-  Accumulator rounds;
-  for (int i = 0; i < seeds; ++i) {
-    const std::uint64_t seed = 1 + static_cast<std::uint64_t>(i);
-    FailurePattern fp(setup.n);
-    fp.set_crash(setup.faulty, setup.crash_at);
-
-    OracleStack oracle =
-        sigma_control
-            ? omega_sigma(fp, setup.omega_stabilize_at, seed)
-            : (plus_oracle
-                   ? omega_sigma_nu_plus(fp, setup.omega_stabilize_at, seed)
-                   : omega_sigma_nu(fp, setup.omega_stabilize_at, seed));
-
-    SchedulerOptions opts;
-    opts.seed = seed;
-    opts.max_steps = setup.max_steps;
-    const ConsensusRunStats stats = run_consensus(
-        fp, oracle.top(), make, mixed_proposals(setup.n), opts);
-
-    ++row.runs;
-    if (!stats.all_correct_decided) ++row.undecided;
-    if (!stats.verdict.uniform_agreement) ++row.uniform_violations;
-    if (!stats.verdict.nonuniform_agreement) ++row.nonuniform_violations;
-    if (stats.decide_round > 0) rounds.add(stats.decide_round);
-  }
-  row.mean_decide_round = rounds.mean();
-  return row;
+  exp::SweepGrid grid;
+  grid.algos = {algo};
+  grid.ns = {setup.n};
+  grid.fault_counts = {1};
+  grid.stabilizes = {setup.omega_stabilize_at};
+  grid.crash_at = setup.crash_at;
+  grid.seed_begin = 1;
+  grid.seed_count = seeds;
+  grid.max_steps = setup.max_steps;
+  return grid;
 }
 
 void experiments() {
-  const ContaminationSetup setup;
   const int seeds = 150;
+  const unsigned threads = std::thread::hardware_concurrency();
 
   TextTable t({"algorithm", "oracle", "runs", "undecided", "uniform_viol",
                "nonuniform_viol", "mean_round"});
   const auto add = [&t](const char* name, const char* oracle,
-                        const ViolationRow& r) {
-    t.add_row({name, oracle, std::to_string(r.runs),
-               std::to_string(r.undecided),
-               std::to_string(r.uniform_violations),
-               std::to_string(r.nonuniform_violations),
-               TextTable::fmt(r.mean_decide_round, 1)});
+                        const exp::SweepAggregate& agg) {
+    t.add_row({name, oracle, std::to_string(agg.runs),
+               std::to_string(agg.undecided),
+               std::to_string(agg.uniform_violations),
+               std::to_string(agg.nonuniform_violations),
+               TextTable::fmt(agg.decide_rounds.mean(), 1)});
   };
 
+  const exp::SweepRunner runner(threads);
   add("naive MR-quorum", "(Omega,Sigma^nu) adversarial",
-      run_family(make_mr_fd_quorum(setup.n), false, false, seeds));
-  add("A_nuc", "(Omega,Sigma^nu+) adversarial",
-      run_family(make_anuc(setup.n), true, false, seeds));
+      runner.run(family_grid(exp::Algo::kNaive, seeds)).aggregate);
+  const exp::SweepResult anuc_sweep =
+      runner.run(family_grid(exp::Algo::kAnuc, seeds));
+  add("A_nuc", "(Omega,Sigma^nu+) adversarial", anuc_sweep.aggregate);
   add("MR-quorum", "(Omega,Sigma) control",
-      run_family(make_mr_fd_quorum(setup.n), false, true, seeds));
+      runner.run(family_grid(exp::Algo::kMrSigma, seeds)).aggregate);
   print_section("E6: contamination (§6.3) — violation rates over seeds", t);
+
+  // Any A_nuc nonuniform violation would be a library bug; the engine hands
+  // back a serially re-runnable artifact for each.
+  for (const exp::ReplayArtifact& a : anuc_sweep.aggregate.failures) {
+    std::printf("UNEXPECTED A_nuc failure — replay with: nucon_explore "
+                "--replay '%s'\n",
+                a.to_string().c_str());
+  }
 
   // The concrete witness the paper narrates: first seed with two correct
   // processes deciding differently under the naive algorithm.
-  const ContaminationResult witness = find_contamination(setup, 400);
+  const ContaminationResult witness = find_contamination(ContaminationSetup{}, 400);
   TextTable w({"found", "seed", "runs_tried", "detail"});
   w.add_row({witness.found ? "yes" : "NO", std::to_string(witness.seed),
              std::to_string(witness.runs_tried),

@@ -6,8 +6,11 @@
 // after the oracles stabilize; per-round message complexity is Theta(n^2)
 // (three broadcast phases) plus the SAW/ACK handshakes; adversarial faulty
 // quorums raise distrust hits without affecting safety or rounds much.
+#include <thread>
+
 #include "bench_util.hpp"
 #include "core/anuc.hpp"
+#include "exp/sweep.hpp"
 
 namespace nucon::bench {
 namespace {
@@ -111,6 +114,48 @@ void experiments() {
     }
     print_section("E5c: faulty-quorum behavior ablation (distrust at work)",
                   t);
+  }
+
+  {
+    // E5d: the Fig. 4-5 sufficiency claim swept statistically on the
+    // parallel engine — 240 grid points (n x faults x 20 seeds), with the
+    // serial-vs-parallel wall clock. Aggregates are bit-identical for any
+    // thread count (asserted by tests/sweep_test.cpp); the speedup column
+    // is bounded by the machine's core count.
+    exp::SweepGrid grid;
+    grid.algos = {exp::Algo::kAnuc};
+    grid.ns = {3, 5, 7, 9};
+    grid.fault_counts = {0, 1, 2};
+    grid.stabilizes = {120};
+    grid.seed_begin = 1;
+    grid.seed_count = 20;
+    grid.max_steps = 400'000;
+
+    const exp::SweepResult serial = exp::SweepRunner(1).run(grid);
+    const unsigned threads =
+        std::max(4u, std::thread::hardware_concurrency());
+    const exp::SweepResult parallel = exp::SweepRunner(threads).run(grid);
+
+    TextTable t({"runs", "undecided", "nonuniform_viol", "mean_round",
+                 "mean_msgs", "wall_1t_s", "wall_Nt_s", "threads",
+                 "speedup"});
+    const exp::SweepAggregate& agg = serial.aggregate;
+    t.add_row({std::to_string(agg.runs), std::to_string(agg.undecided),
+               std::to_string(agg.nonuniform_violations),
+               TextTable::fmt(agg.decide_rounds.mean(), 1),
+               TextTable::fmt(agg.messages.mean(), 0),
+               TextTable::fmt(serial.wall_seconds, 2),
+               TextTable::fmt(parallel.wall_seconds, 2),
+               std::to_string(threads),
+               TextTable::fmt(serial.wall_seconds /
+                                  std::max(parallel.wall_seconds, 1e-9),
+                              2)});
+    print_section("E5d: A_nuc sufficiency sweep on the parallel engine", t);
+    for (const exp::ReplayArtifact& a : agg.failures) {
+      std::printf("UNEXPECTED failure — replay with: nucon_explore --replay "
+                  "'%s'\n",
+                  a.to_string().c_str());
+    }
   }
 }
 

@@ -6,8 +6,11 @@
 // E8 (ONLY-IF): with t >= n/2, the partition construction defeats every
 // candidate transformation — reports, per candidate, the defeat mode and
 // the disjoint quorums of the merged run R'.
+#include <thread>
+
 #include "bench_util.hpp"
 #include "core/from_scratch.hpp"
+#include "exp/sweep.hpp"
 #include "core/partition_argument.hpp"
 #include "core/sigma_from_majority.hpp"
 #include "fd/history.hpp"
@@ -58,33 +61,61 @@ void experiments() {
   {
     // The constructive upshot of the IF direction: consensus with NO
     // oracle at all — Omega by adaptive-timeout election, Sigma from
-    // majorities, MR on top, in one automaton.
-    TextTable t({"n", "t", "faults", "decided", "round", "steps", "msgs",
-                 "uniform_ok"});
+    // majorities, MR on top, in one automaton. Each (n, faults) cell is now
+    // a 10-seed sweep executed on the parallel engine; the fault bound
+    // differs per n, so the cells are built point-by-point rather than as
+    // one rectangular grid.
+    std::vector<exp::SweepPoint> points;
     for (Pid n : {3, 5, 7}) {
-      const Pid bound = static_cast<Pid>((n - 1) / 2);
-      for (Pid faults : {static_cast<Pid>(0), bound}) {
-        ScriptedOracle no_fd([](Pid, Time) { return FdValue{}; });
-        const FailurePattern fp = spread_crashes(n, faults, 120, 5);
-        SchedulerOptions opts;
-        opts.seed = 7;
-        opts.max_steps = 300'000;
-        const ConsensusRunStats stats =
-            run_consensus(fp, no_fd, make_from_scratch(n, bound),
-                          mixed_proposals(n), opts);
-        t.add_row({std::to_string(n), std::to_string(bound),
-                   std::to_string(faults),
-                   stats.all_correct_decided ? "yes" : "NO",
-                   std::to_string(stats.decide_round),
-                   std::to_string(stats.steps),
-                   std::to_string(stats.messages_sent),
-                   stats.verdict.solves_uniform() ? "yes" : "NO"});
+      for (Pid faults : {static_cast<Pid>(0), static_cast<Pid>((n - 1) / 2)}) {
+        for (int k = 0; k < 10; ++k) {
+          exp::SweepPoint pt;
+          pt.algo = exp::Algo::kFromScratch;
+          pt.n = n;
+          pt.faults = faults;
+          pt.stabilize = 120;
+          pt.max_steps = 300'000;
+          pt.seed = 5 + static_cast<std::uint64_t>(k);
+          points.push_back(pt);
+        }
       }
+    }
+    const exp::SweepResult sweep =
+        exp::SweepRunner(std::thread::hardware_concurrency()).run(points);
+
+    TextTable t({"n", "t", "faults", "runs", "decided", "mean_round",
+                 "mean_steps", "mean_msgs", "uniform_ok"});
+    for (std::size_t cell = 0; cell < sweep.jobs.size(); cell += 10) {
+      const exp::SweepPoint& pt = sweep.jobs[cell].point;
+      int decided = 0;
+      int uniform_ok = 0;
+      Accumulator rounds, steps, msgs;
+      for (std::size_t i = cell; i < cell + 10; ++i) {
+        const ConsensusRunStats& stats = sweep.jobs[i].stats;
+        decided += stats.all_correct_decided;
+        uniform_ok += stats.verdict.solves_uniform();
+        if (stats.decide_round > 0) rounds.add(stats.decide_round);
+        steps.add(static_cast<double>(stats.steps));
+        msgs.add(static_cast<double>(stats.messages_sent));
+      }
+      t.add_row({std::to_string(pt.n),
+                 std::to_string(static_cast<Pid>((pt.n - 1) / 2)),
+                 std::to_string(pt.faults), "10",
+                 std::to_string(decided) + "/10",
+                 TextTable::fmt(rounds.mean(), 1),
+                 TextTable::fmt(steps.mean(), 0),
+                 TextTable::fmt(msgs.mean(), 0),
+                 uniform_ok == 10 ? "10/10" : std::to_string(uniform_ok) + "/10"});
     }
     print_section(
         "E7b: consensus with no oracle at all (Omega election + Sigma from "
-        "scratch + MR)",
+        "scratch + MR), 10-seed sweeps",
         t);
+    for (const exp::ReplayArtifact& a : sweep.aggregate.failures) {
+      std::printf("UNEXPECTED failure — replay with: nucon_explore --replay "
+                  "'%s'\n",
+                  a.to_string().c_str());
+    }
   }
 
   {

@@ -1,0 +1,382 @@
+#include "exp/sweep.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <sstream>
+#include <stdexcept>
+
+#include "algo/ben_or.hpp"
+#include "algo/ct_consensus.hpp"
+#include "algo/mr_consensus.hpp"
+#include "core/anuc.hpp"
+#include "core/from_scratch.hpp"
+#include "core/stacked_nuc.hpp"
+#include "exp/thread_pool.hpp"
+#include "fd/classic.hpp"
+#include "fd/composed.hpp"
+#include "fd/omega.hpp"
+#include "fd/scripted.hpp"
+#include "fd/sigma.hpp"
+#include "fd/sigma_nu.hpp"
+
+namespace nucon::exp {
+namespace {
+
+struct AlgoInfo {
+  Algo algo;
+  const char* name;
+  Expect expect;
+};
+
+constexpr AlgoInfo kAlgoTable[] = {
+    {Algo::kAnuc, "anuc", Expect::kNonuniform},
+    {Algo::kStacked, "stacked", Expect::kNonuniform},
+    {Algo::kMrMajority, "mr-majority", Expect::kUniform},
+    {Algo::kMrSigma, "mr-sigma", Expect::kUniform},
+    {Algo::kNaive, "naive", Expect::kNone},
+    {Algo::kCt, "ct", Expect::kUniform},
+    {Algo::kBenOr, "ben-or", Expect::kUniform},
+    {Algo::kFromScratch, "from-scratch", Expect::kUniform},
+};
+
+const AlgoInfo& info_of(Algo a) {
+  for (const AlgoInfo& i : kAlgoTable) {
+    if (i.algo == a) return i;
+  }
+  throw std::invalid_argument("unknown Algo");
+}
+
+const char* mode_name(FaultyQuorumBehavior b) {
+  switch (b) {
+    case FaultyQuorumBehavior::kBenign:
+      return "benign";
+    case FaultyQuorumBehavior::kNoise:
+      return "noise";
+    default:
+      return "adversarial";
+  }
+}
+
+std::optional<FaultyQuorumBehavior> parse_mode(const std::string& s) {
+  if (s == "benign") return FaultyQuorumBehavior::kBenign;
+  if (s == "noise") return FaultyQuorumBehavior::kNoise;
+  if (s == "adversarial") return FaultyQuorumBehavior::kAdversarialDisjoint;
+  return std::nullopt;
+}
+
+void validate(const SweepPoint& pt) {
+  if (pt.n < 2 || pt.n > kMaxProcesses || pt.faults < 0 || pt.faults >= pt.n ||
+      pt.max_steps <= 0) {
+    throw std::invalid_argument("infeasible SweepPoint: " +
+                                ReplayArtifact{pt}.to_string());
+  }
+}
+
+/// Owns the whole oracle stack of one job; `top` is what the run queries.
+/// Every job builds its own stack: oracles are stateful (lazily fixed
+/// histories), so nothing is shared across worker threads.
+struct OracleStack {
+  std::vector<std::unique_ptr<Oracle>> owned;
+  Oracle* top = nullptr;
+
+  template <typename T, typename... Args>
+  T& make(Args&&... args) {
+    owned.push_back(std::make_unique<T>(std::forward<Args>(args)...));
+    top = owned.back().get();
+    return static_cast<T&>(*top);
+  }
+};
+
+/// Everything a point's run needs, derived from the point alone. The seed
+/// offsets match tools/nucon_explore's historical scheme so explorer
+/// sessions before and after the engine landed replay identically.
+struct PointSetup {
+  FailurePattern fp;
+  OracleStack oracle;
+  ConsensusFactory make;
+  std::vector<Value> proposals;
+  SchedulerOptions opts;
+
+  explicit PointSetup(const SweepPoint& pt) : fp(failure_pattern_of(pt)) {
+    const Pid n = pt.n;
+    const std::uint64_t seed = pt.seed;
+
+    switch (pt.algo) {
+      case Algo::kAnuc: {
+        OmegaOptions oo;
+        oo.stabilize_at = pt.stabilize;
+        oo.seed = seed;
+        auto& omega = oracle.make<OmegaOracle>(fp, oo);
+        SigmaNuPlusOptions spo;
+        spo.stabilize_at = pt.stabilize;
+        spo.seed = seed + 0x53;
+        spo.faulty = pt.faulty_mode;
+        auto& plus = oracle.make<SigmaNuPlusOracle>(fp, spo);
+        oracle.make<ComposedOracle>(omega, plus);
+        make = make_anuc(n);
+        break;
+      }
+      case Algo::kStacked:
+      case Algo::kNaive: {
+        OmegaOptions oo;
+        oo.stabilize_at = pt.stabilize;
+        oo.seed = seed;
+        auto& omega = oracle.make<OmegaOracle>(fp, oo);
+        SigmaNuOptions sno;
+        sno.stabilize_at = pt.stabilize;
+        sno.seed = seed + 0x52;
+        sno.faulty = pt.faulty_mode;
+        auto& nu = oracle.make<SigmaNuOracle>(fp, sno);
+        oracle.make<ComposedOracle>(omega, nu);
+        make = pt.algo == Algo::kStacked ? make_stacked_nuc(n)
+                                         : make_mr_fd_quorum(n);
+        break;
+      }
+      case Algo::kMrMajority: {
+        OmegaOptions oo;
+        oo.stabilize_at = pt.stabilize;
+        oo.seed = seed;
+        oracle.make<OmegaOracle>(fp, oo);
+        make = make_mr_majority(n);
+        break;
+      }
+      case Algo::kMrSigma: {
+        OmegaOptions oo;
+        oo.stabilize_at = pt.stabilize;
+        oo.seed = seed;
+        auto& omega = oracle.make<OmegaOracle>(fp, oo);
+        SigmaOptions so;
+        so.stabilize_at = pt.stabilize;
+        so.seed = seed + 0x51;
+        auto& sigma = oracle.make<SigmaOracle>(fp, so);
+        oracle.make<ComposedOracle>(omega, sigma);
+        make = make_mr_fd_quorum(n);
+        break;
+      }
+      case Algo::kCt: {
+        SuspectsOptions sso;
+        sso.stabilize_at = pt.stabilize;
+        sso.seed = seed + 0x54;
+        oracle.make<EvtStrongOracle>(fp, sso);
+        make = make_ct(n);
+        break;
+      }
+      case Algo::kBenOr: {
+        oracle.make<ScriptedOracle>([](Pid, Time) { return FdValue{}; });
+        make = make_ben_or(n, static_cast<Pid>((n - 1) / 2), seed);
+        break;
+      }
+      case Algo::kFromScratch: {
+        oracle.make<ScriptedOracle>([](Pid, Time) { return FdValue{}; });
+        make = make_from_scratch(n, static_cast<Pid>((n - 1) / 2));
+        break;
+      }
+    }
+
+    proposals = proposals_of(pt);
+    opts.seed = seed;
+    opts.max_steps = pt.max_steps;
+  }
+};
+
+bool meets_expectation(const SweepPoint& pt, const ConsensusRunStats& stats) {
+  switch (expectation(pt.algo)) {
+    case Expect::kNonuniform:
+      return stats.verdict.solves_nonuniform();
+    case Expect::kUniform:
+      return stats.verdict.solves_uniform();
+    case Expect::kNone:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* algo_name(Algo a) { return info_of(a).name; }
+
+std::optional<Algo> parse_algo(const std::string& name) {
+  for (const AlgoInfo& i : kAlgoTable) {
+    if (name == i.name) return i.algo;
+  }
+  return std::nullopt;
+}
+
+Expect expectation(Algo a) { return info_of(a).expect; }
+
+std::vector<SweepPoint> SweepGrid::expand() const {
+  std::vector<SweepPoint> points;
+  for (Algo algo : algos) {
+    for (Pid n : ns) {
+      for (Pid faults : fault_counts) {
+        if (faults < 0 || faults >= n) continue;  // infeasible cell
+        for (Time stabilize : stabilizes) {
+          for (FaultyQuorumBehavior mode : faulty_modes) {
+            for (int k = 0; k < seed_count; ++k) {
+              SweepPoint pt;
+              pt.algo = algo;
+              pt.n = n;
+              pt.faults = faults;
+              pt.stabilize = stabilize;
+              pt.crash_at = crash_at;
+              pt.faulty_mode = mode;
+              pt.max_steps = max_steps;
+              pt.seed = seed_begin + static_cast<std::uint64_t>(k);
+              points.push_back(pt);
+            }
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+std::string ReplayArtifact::to_string() const {
+  std::ostringstream os;
+  os << "algo=" << algo_name(point.algo) << " n=" << point.n
+     << " faults=" << point.faults << " stab=" << point.stabilize
+     << " crash=" << point.crash_at << " mode=" << mode_name(point.faulty_mode)
+     << " steps=" << point.max_steps << " seed=" << point.seed;
+  return os.str();
+}
+
+std::optional<ReplayArtifact> ReplayArtifact::parse(const std::string& line) {
+  SweepPoint pt;
+  bool saw_algo = false;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "algo") {
+      const auto a = parse_algo(value);
+      if (!a) return std::nullopt;
+      pt.algo = *a;
+      saw_algo = true;
+    } else if (key == "mode") {
+      const auto m = parse_mode(value);
+      if (!m) return std::nullopt;
+      pt.faulty_mode = *m;
+    } else {
+      std::int64_t v = 0;
+      try {
+        v = std::stoll(value);
+      } catch (...) {
+        return std::nullopt;
+      }
+      if (key == "n") {
+        pt.n = static_cast<Pid>(v);
+      } else if (key == "faults") {
+        pt.faults = static_cast<Pid>(v);
+      } else if (key == "stab") {
+        pt.stabilize = v;
+      } else if (key == "crash") {
+        pt.crash_at = v;
+      } else if (key == "steps") {
+        pt.max_steps = v;
+      } else if (key == "seed") {
+        pt.seed = static_cast<std::uint64_t>(v);
+      } else {
+        return std::nullopt;
+      }
+    }
+  }
+  if (!saw_algo || pt.n < 2 || pt.n > kMaxProcesses || pt.faults < 0 ||
+      pt.faults >= pt.n || pt.max_steps <= 0) {
+    return std::nullopt;
+  }
+  return ReplayArtifact{pt};
+}
+
+FailurePattern failure_pattern_of(const SweepPoint& pt) {
+  validate(pt);
+  FailurePattern fp(pt.n);
+  Rng rng(pt.seed * 2654435761ULL + 99);
+  for (Pid p : rng.pick_subset(ProcessSet::full(pt.n), pt.faults)) {
+    fp.set_crash(p, pt.crash_at > 0
+                        ? pt.crash_at
+                        : rng.range(10, std::max<Time>(pt.stabilize - 10, 11)));
+  }
+  return fp;
+}
+
+std::vector<Value> proposals_of(const SweepPoint& pt) {
+  std::vector<Value> out(static_cast<std::size_t>(pt.n));
+  for (Pid p = 0; p < pt.n; ++p) out[static_cast<std::size_t>(p)] = p % 2;
+  return out;
+}
+
+ConsensusRunStats run_point(const SweepPoint& pt) {
+  PointSetup setup(pt);
+  return run_consensus(setup.fp, *setup.oracle.top, setup.make,
+                       setup.proposals, setup.opts);
+}
+
+SimResult simulate_point(const SweepPoint& pt) {
+  PointSetup setup(pt);
+  return simulate_consensus(setup.fp, *setup.oracle.top, setup.make,
+                            setup.proposals, setup.opts);
+}
+
+ConsensusRunStats replay_failure(const ReplayArtifact& artifact) {
+  return run_point(artifact.point);
+}
+
+SweepResult SweepRunner::run(const SweepGrid& grid) const {
+  return run(grid.expand());
+}
+
+SweepResult SweepRunner::run(const std::vector<SweepPoint>& points) const {
+  for (const SweepPoint& pt : points) validate(pt);
+
+  SweepResult result;
+  result.jobs.resize(points.size());
+
+  const auto started = std::chrono::steady_clock::now();
+  {
+    // Each future writes only its own preallocated slot, so the result
+    // vector is ordered by expansion index no matter which worker finishes
+    // first. The pool drains on scope exit.
+    ThreadPool pool(threads_);
+    std::vector<std::future<void>> done;
+    done.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      done.push_back(pool.submit([&result, &points, i] {
+        JobOutcome out;
+        out.point = points[i];
+        out.stats = run_point(points[i]);
+        out.ok = meets_expectation(out.point, out.stats);
+        result.jobs[i] = std::move(out);
+      }));
+    }
+    for (std::future<void>& f : done) f.get();  // rethrows job exceptions
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  // Serial fold in expansion order: bit-identical for any thread count.
+  SweepAggregate& agg = result.aggregate;
+  for (const JobOutcome& job : result.jobs) {
+    ++agg.runs;
+    if (!job.stats.all_correct_decided) ++agg.undecided;
+    if (!job.stats.verdict.termination) ++agg.termination_failures;
+    if (!job.stats.verdict.uniform_agreement) ++agg.uniform_violations;
+    if (!job.stats.verdict.nonuniform_agreement) ++agg.nonuniform_violations;
+    if (!job.ok) {
+      ++agg.expectation_failures;
+      agg.failures.push_back(ReplayArtifact{job.point});
+    }
+    if (job.stats.decide_round > 0) agg.decide_rounds.add(job.stats.decide_round);
+    agg.steps.add(static_cast<double>(job.stats.steps));
+    agg.messages.add(static_cast<double>(job.stats.messages_sent));
+    agg.kbytes.add(static_cast<double>(job.stats.bytes_sent) / 1024.0);
+  }
+  return result;
+}
+
+}  // namespace nucon::exp

@@ -1,0 +1,165 @@
+// Parallel experiment sweep engine.
+//
+// A SweepPoint is one fully self-describing experiment: algorithm, system
+// size, crash count/timing, oracle family knobs, step budget and seed.
+// Everything a run needs (failure pattern, oracle stack, proposals,
+// scheduler options) is derived deterministically from the point, so any
+// point re-executes bit-for-bit anywhere — on a worker thread of the
+// SweepRunner, or serially through replay_failure() when a run goes wrong.
+//
+// A SweepGrid is the declarative cross product the benches and
+// tools/nucon_explore expand (algorithm x n x faults x stabilization x
+// faulty-module behavior x seed range). SweepRunner executes the expanded
+// points on a work-stealing ThreadPool and then folds the per-point
+// ConsensusRunStats into a SweepAggregate *serially, in expansion order*,
+// so aggregates are bit-identical for any thread count (floating-point
+// accumulation order never depends on scheduling).
+//
+// Any point whose verdict misses its algorithm's expectation yields a
+// ReplayArtifact — a one-line, parseable description that
+// `nucon_explore --replay '<artifact>'` (or replay_failure() in code)
+// re-executes serially for debugging.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algo/harness.hpp"
+#include "fd/sigma_nu.hpp"
+#include "util/stats.hpp"
+
+namespace nucon::exp {
+
+/// Every consensus algorithm the library can run under its canonical
+/// oracle family (the same registry tools/nucon_explore exposes).
+enum class Algo {
+  kAnuc,         // A_nuc with (Omega, Sigma^nu+)
+  kStacked,      // StackedNuc with raw (Omega, Sigma^nu)
+  kMrMajority,   // Mostefaoui-Raynal, majorities, Omega only
+  kMrSigma,      // MR with Sigma quorums, (Omega, Sigma)
+  kNaive,        // the broken §6.3 substitution: MR quorums over Sigma^nu
+  kCt,           // Chandra-Toueg with <>S
+  kBenOr,        // randomized, no oracle
+  kFromScratch,  // Thm 7.1 IF stack: election + Sigma-from-majority + MR
+};
+
+[[nodiscard]] const char* algo_name(Algo a);
+[[nodiscard]] std::optional<Algo> parse_algo(const std::string& name);
+
+/// What a correct run of the algorithm must satisfy. kNone marks algorithms
+/// that are *expected* to misbehave (the naive substitution), so their
+/// violations are counted but do not spawn replay artifacts.
+enum class Expect { kNonuniform, kUniform, kNone };
+[[nodiscard]] Expect expectation(Algo a);
+
+/// One grid point == one deterministic run.
+struct SweepPoint {
+  Algo algo = Algo::kAnuc;
+  Pid n = 5;
+  Pid faults = 1;
+  /// Oracle stabilization time (Omega and the quorum component).
+  Time stabilize = 120;
+  /// 0 spreads crashes randomly before `stabilize`; > 0 pins them all here.
+  Time crash_at = 0;
+  FaultyQuorumBehavior faulty_mode = FaultyQuorumBehavior::kAdversarialDisjoint;
+  std::int64_t max_steps = 200'000;
+  std::uint64_t seed = 1;
+
+  friend bool operator==(const SweepPoint&, const SweepPoint&) = default;
+};
+
+/// Declarative cross product. expand() emits points in a fixed nested order
+/// (algo, n, faults, stabilize, mode, seed) and silently skips infeasible
+/// combinations (faults >= n).
+struct SweepGrid {
+  std::vector<Algo> algos = {Algo::kAnuc};
+  std::vector<Pid> ns = {5};
+  std::vector<Pid> fault_counts = {1};
+  std::vector<Time> stabilizes = {120};
+  std::vector<FaultyQuorumBehavior> faulty_modes = {
+      FaultyQuorumBehavior::kAdversarialDisjoint};
+  Time crash_at = 0;
+  std::uint64_t seed_begin = 1;
+  int seed_count = 1;
+  std::int64_t max_steps = 200'000;
+
+  [[nodiscard]] std::vector<SweepPoint> expand() const;
+};
+
+/// Serializable pointer to a failed run: `to_string()` round-trips through
+/// `parse()`, and the CLI accepts it verbatim (--replay).
+struct ReplayArtifact {
+  SweepPoint point;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static std::optional<ReplayArtifact> parse(
+      const std::string& line);
+
+  friend bool operator==(const ReplayArtifact&, const ReplayArtifact&) = default;
+};
+
+struct JobOutcome {
+  SweepPoint point;
+  ConsensusRunStats stats;
+  /// Verdict measured against expectation(point.algo).
+  bool ok = true;
+};
+
+/// Merged view of a sweep, folded serially in expansion order.
+struct SweepAggregate {
+  std::int64_t runs = 0;
+  std::int64_t undecided = 0;              // some correct process never decided
+  std::int64_t termination_failures = 0;   // verdict.termination false
+  std::int64_t uniform_violations = 0;
+  std::int64_t nonuniform_violations = 0;
+  std::int64_t expectation_failures = 0;   // !JobOutcome::ok
+
+  Accumulator decide_rounds;  // over runs that decided (decide_round > 0)
+  Accumulator steps;
+  Accumulator messages;
+  Accumulator kbytes;
+
+  /// One artifact per failed-expectation point, in expansion order.
+  std::vector<ReplayArtifact> failures;
+};
+
+struct SweepResult {
+  std::vector<JobOutcome> jobs;  // expansion order, independent of threads
+  SweepAggregate aggregate;
+  /// Wall-clock of the parallel execution phase (not deterministic; never
+  /// part of the aggregate).
+  double wall_seconds = 0.0;
+};
+
+class SweepRunner {
+ public:
+  /// threads == 0 picks hardware concurrency.
+  explicit SweepRunner(unsigned threads = 0) : threads_(threads) {}
+
+  [[nodiscard]] SweepResult run(const std::vector<SweepPoint>& points) const;
+  [[nodiscard]] SweepResult run(const SweepGrid& grid) const;
+
+ private:
+  unsigned threads_;
+};
+
+/// The failure pattern a point deterministically denotes.
+[[nodiscard]] FailurePattern failure_pattern_of(const SweepPoint& pt);
+
+/// The proposals a point runs with (alternating 0/1, the benches' mix).
+[[nodiscard]] std::vector<Value> proposals_of(const SweepPoint& pt);
+
+/// Executes one point to its stats summary (this is the per-job body the
+/// runner schedules; callable serially too).
+[[nodiscard]] ConsensusRunStats run_point(const SweepPoint& pt);
+
+/// Full simulation of one point, for tracing/debugging (keeps the recorded
+/// Run and the automata, which run_point folds away).
+[[nodiscard]] SimResult simulate_point(const SweepPoint& pt);
+
+/// Serial re-execution of a failed point. Identical to run_point by
+/// construction — the guarantee a replay artifact exists to exploit.
+[[nodiscard]] ConsensusRunStats replay_failure(const ReplayArtifact& artifact);
+
+}  // namespace nucon::exp

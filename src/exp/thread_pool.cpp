@@ -1,0 +1,98 @@
+#include "exp/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace nucon::exp {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(cv_mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lk(cv_mu_);
+  return queued_count_;
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lk(cv_mu_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::submit after shutdown began");
+    }
+    target = next_++ % workers_.size();
+    ++queued_count_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(workers_[target]->mu);
+    workers_[target]->queue.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t index, std::function<void()>& out) {
+  // Own deque first (LIFO end: the task most recently pushed here)...
+  {
+    Worker& w = *workers_[index];
+    std::lock_guard<std::mutex> lk(w.mu);
+    if (!w.queue.empty()) {
+      out = std::move(w.queue.back());
+      w.queue.pop_back();
+      return true;
+    }
+  }
+  // ...then steal from siblings, oldest task first.
+  for (std::size_t k = 1; k < workers_.size(); ++k) {
+    Worker& w = *workers_[(index + k) % workers_.size()];
+    std::lock_guard<std::mutex> lk(w.mu);
+    if (!w.queue.empty()) {
+      out = std::move(w.queue.front());
+      w.queue.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::function<void()> task;
+  while (true) {
+    if (try_pop(index, task)) {
+      {
+        std::lock_guard<std::mutex> lk(cv_mu_);
+        --queued_count_;
+      }
+      task();
+      task = nullptr;
+      // A completed task may have submitted follow-up work; siblings parked
+      // on the cv only wake on submit, so poke one along.
+      cv_.notify_one();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(cv_mu_);
+    cv_.wait(lk, [this] { return stopping_ || queued_count_ > 0; });
+    if (stopping_ && queued_count_ == 0) return;
+  }
+}
+
+}  // namespace nucon::exp

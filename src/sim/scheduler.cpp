@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "util/rng.hpp"
 
@@ -131,7 +132,13 @@ SimResult simulate_consensus(const FailurePattern& fp, Oracle& oracle,
                              const ConsensusFactory& make,
                              const std::vector<Value>& proposals,
                              SchedulerOptions opts) {
-  assert(proposals.size() == static_cast<std::size_t>(fp.n()));
+  // A hard error, not an assert: release builds (and the sweep engine's
+  // worker threads) must reject a malformed grid point instead of indexing
+  // past the end of the proposal vector.
+  if (proposals.size() != static_cast<std::size_t>(fp.n())) {
+    throw std::invalid_argument(
+        "simulate_consensus: proposals.size() must equal fp.n()");
+  }
   if (!opts.stop_when) {
     opts.stop_when = [&fp](const std::vector<std::unique_ptr<Automaton>>& a) {
       return all_correct_decided(fp, a);

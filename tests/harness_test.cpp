@@ -1,0 +1,143 @@
+// run_consensus edge cases: step-cap exhaustion, malformed proposal
+// vectors, and the shape of the decisions vector when processes crash
+// before deciding.
+#include "algo/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "algo/mr_consensus.hpp"
+#include "core/anuc.hpp"
+#include "fd/composed.hpp"
+#include "fd/omega.hpp"
+#include "fd/sigma_nu.hpp"
+
+namespace nucon {
+namespace {
+
+struct Fixture {
+  explicit Fixture(Pid n, Time stabilize = 50, std::uint64_t seed = 7)
+      : fp(n) {
+    OmegaOptions oo;
+    oo.stabilize_at = stabilize;
+    oo.seed = seed;
+    omega = std::make_unique<OmegaOracle>(fp, oo);
+  }
+
+  FailurePattern fp;
+  std::unique_ptr<OmegaOracle> omega;
+};
+
+std::vector<Value> binary_proposals(Pid n) {
+  std::vector<Value> out(static_cast<std::size_t>(n));
+  for (Pid p = 0; p < n; ++p) out[static_cast<std::size_t>(p)] = p % 2;
+  return out;
+}
+
+TEST(HarnessTest, StepCapExhaustionReportsTerminationFailure) {
+  // A step budget far below what any decision needs: the run is cut off,
+  // the verdict must say termination failed, and nothing may have decided.
+  const Pid n = 5;
+  Fixture fx(n, /*stabilize=*/1'000);
+  SchedulerOptions opts;
+  opts.seed = 3;
+  opts.max_steps = 40;
+
+  const ConsensusRunStats stats = run_consensus(
+      fx.fp, *fx.omega, make_mr_majority(n), binary_proposals(n), opts);
+
+  EXPECT_FALSE(stats.verdict.termination);
+  EXPECT_FALSE(stats.verdict.solves_nonuniform());
+  EXPECT_FALSE(stats.verdict.solves_uniform());
+  EXPECT_FALSE(stats.all_correct_decided);
+  EXPECT_LE(stats.steps, 40u);
+  EXPECT_EQ(stats.decide_round, 0);
+  ASSERT_EQ(stats.decisions.size(), static_cast<std::size_t>(n));
+  for (const auto& d : stats.decisions) EXPECT_FALSE(d.has_value());
+  // Vacuous agreement still holds: nobody decided, nobody disagreed.
+  EXPECT_TRUE(stats.verdict.nonuniform_agreement);
+}
+
+TEST(HarnessTest, EmptyProposalVectorIsRejected) {
+  const Pid n = 3;
+  Fixture fx(n);
+  SchedulerOptions opts;
+  opts.seed = 1;
+
+  EXPECT_THROW((void)run_consensus(fx.fp, *fx.omega, make_mr_majority(n),
+                                   /*proposals=*/{}, opts),
+               std::invalid_argument);
+}
+
+TEST(HarnessTest, WrongSizedProposalVectorIsRejected) {
+  const Pid n = 4;
+  Fixture fx(n);
+  SchedulerOptions opts;
+  opts.seed = 1;
+
+  EXPECT_THROW((void)run_consensus(fx.fp, *fx.omega, make_mr_majority(n),
+                                   binary_proposals(n - 1), opts),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_consensus(fx.fp, *fx.omega, make_mr_majority(n),
+                                   binary_proposals(n + 1), opts),
+               std::invalid_argument);
+}
+
+TEST(HarnessTest, ProcessCrashingBeforeDecidingLeavesNulloptSlot) {
+  // p2 dies at t=1, long before any decision: the decisions vector keeps
+  // one slot per process (crashed included), with p2's empty, and the
+  // survivors still solve consensus.
+  const Pid n = 3;
+  Fixture fx(n, /*stabilize=*/30);
+  fx.fp.set_crash(2, 1);
+  // Rebuild the oracle against the pattern that includes the crash.
+  OmegaOptions oo;
+  oo.stabilize_at = 30;
+  oo.seed = 7;
+  OmegaOracle omega(fx.fp, oo);
+
+  SchedulerOptions opts;
+  opts.seed = 11;
+  opts.max_steps = 100'000;
+
+  const ConsensusRunStats stats = run_consensus(
+      fx.fp, omega, make_mr_majority(n), binary_proposals(n), opts);
+
+  ASSERT_EQ(stats.decisions.size(), static_cast<std::size_t>(n));
+  EXPECT_FALSE(stats.decisions[2].has_value());
+  EXPECT_TRUE(stats.decisions[0].has_value());
+  EXPECT_TRUE(stats.decisions[1].has_value());
+  EXPECT_TRUE(stats.all_correct_decided);
+  EXPECT_TRUE(stats.verdict.solves_uniform());
+  EXPECT_GT(stats.decide_round, 0);
+}
+
+TEST(HarnessTest, AllProcessesCrashedYieldsAllEmptyDecisions) {
+  // Everyone dies immediately: the scheduler stops once nobody can step,
+  // decisions stay one-empty-slot-per-process, and with no correct process
+  // the termination clause is vacuously satisfied.
+  const Pid n = 3;
+  FailurePattern fp(n);
+  for (Pid p = 0; p < n; ++p) fp.set_crash(p, 1);
+  OmegaOptions oo;
+  oo.stabilize_at = 10;
+  oo.seed = 5;
+  OmegaOracle omega(fp, oo);
+
+  SchedulerOptions opts;
+  opts.seed = 2;
+  opts.max_steps = 10'000;
+
+  const ConsensusRunStats stats = run_consensus(
+      fp, omega, make_mr_majority(n), binary_proposals(n), opts);
+
+  ASSERT_EQ(stats.decisions.size(), static_cast<std::size_t>(n));
+  for (const auto& d : stats.decisions) EXPECT_FALSE(d.has_value());
+  EXPECT_LT(stats.steps, 10'000u);  // cut short by universal death, not the cap
+  EXPECT_TRUE(stats.all_correct_decided);
+  EXPECT_TRUE(stats.verdict.termination);
+}
+
+}  // namespace
+}  // namespace nucon

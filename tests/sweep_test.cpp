@@ -1,0 +1,199 @@
+// Sweep engine determinism: the same grid must produce bit-identical
+// aggregates and identical per-job verdicts for any thread count, failed
+// expectations must emit replay artifacts, and artifacts must round-trip
+// and re-execute to the original run.
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nucon::exp {
+namespace {
+
+SweepGrid small_grid() {
+  SweepGrid grid;
+  grid.algos = {Algo::kAnuc, Algo::kNaive};
+  grid.ns = {4};
+  grid.fault_counts = {1};
+  grid.stabilizes = {80};
+  grid.seed_begin = 1;
+  grid.seed_count = 6;
+  grid.max_steps = 60'000;
+  return grid;
+}
+
+void expect_same_stats(const ConsensusRunStats& a, const ConsensusRunStats& b) {
+  EXPECT_EQ(a.verdict.termination, b.verdict.termination);
+  EXPECT_EQ(a.verdict.validity, b.verdict.validity);
+  EXPECT_EQ(a.verdict.nonuniform_agreement, b.verdict.nonuniform_agreement);
+  EXPECT_EQ(a.verdict.uniform_agreement, b.verdict.uniform_agreement);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.max_round, b.max_round);
+  EXPECT_EQ(a.decide_round, b.decide_round);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.all_correct_decided, b.all_correct_decided);
+}
+
+void expect_same_accumulator(const Accumulator& a, const Accumulator& b) {
+  EXPECT_EQ(a.count(), b.count());
+  // Bitwise double equality on purpose: the engine promises bit-identical
+  // aggregation for any thread count, not merely "close".
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.mean(), b.mean());
+}
+
+void expect_same_aggregate(const SweepAggregate& a, const SweepAggregate& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.undecided, b.undecided);
+  EXPECT_EQ(a.termination_failures, b.termination_failures);
+  EXPECT_EQ(a.uniform_violations, b.uniform_violations);
+  EXPECT_EQ(a.nonuniform_violations, b.nonuniform_violations);
+  EXPECT_EQ(a.expectation_failures, b.expectation_failures);
+  expect_same_accumulator(a.decide_rounds, b.decide_rounds);
+  expect_same_accumulator(a.steps, b.steps);
+  expect_same_accumulator(a.messages, b.messages);
+  expect_same_accumulator(a.kbytes, b.kbytes);
+  EXPECT_EQ(a.failures, b.failures);
+}
+
+TEST(SweepTest, GridExpansionIsDeterministicAndSkipsInfeasibleCells) {
+  SweepGrid grid = small_grid();
+  grid.ns = {3, 4};
+  grid.fault_counts = {0, 3};  // faults=3 infeasible at n=3, feasible at n=4
+  const auto points = grid.expand();
+  // algos(2) x [n=3: 1 feasible fault count, n=4: 2] x stabilizes(1) x
+  // modes(1) x seeds(6) = 2 * 3 * 6.
+  ASSERT_EQ(points.size(), 36u);
+  EXPECT_EQ(grid.expand(), points);  // same order every time
+  for (const SweepPoint& pt : points) EXPECT_LT(pt.faults, pt.n);
+}
+
+TEST(SweepTest, AggregatesBitIdenticalAcrossThreadCounts) {
+  const SweepGrid grid = small_grid();
+  const SweepResult t1 = SweepRunner(1).run(grid);
+  const SweepResult t2 = SweepRunner(2).run(grid);
+  const SweepResult t8 = SweepRunner(8).run(grid);
+
+  ASSERT_EQ(t1.jobs.size(), grid.expand().size());
+  ASSERT_EQ(t2.jobs.size(), t1.jobs.size());
+  ASSERT_EQ(t8.jobs.size(), t1.jobs.size());
+
+  for (std::size_t i = 0; i < t1.jobs.size(); ++i) {
+    EXPECT_EQ(t2.jobs[i].point, t1.jobs[i].point);
+    EXPECT_EQ(t8.jobs[i].point, t1.jobs[i].point);
+    EXPECT_EQ(t2.jobs[i].ok, t1.jobs[i].ok);
+    EXPECT_EQ(t8.jobs[i].ok, t1.jobs[i].ok);
+    expect_same_stats(t2.jobs[i].stats, t1.jobs[i].stats);
+    expect_same_stats(t8.jobs[i].stats, t1.jobs[i].stats);
+  }
+  expect_same_aggregate(t2.aggregate, t1.aggregate);
+  expect_same_aggregate(t8.aggregate, t1.aggregate);
+
+  // The sweep actually ran: every job of this grid decides.
+  EXPECT_EQ(t1.aggregate.runs, 12);
+  EXPECT_GT(t1.aggregate.steps.sum(), 0.0);
+}
+
+TEST(SweepTest, AnucMeetsExpectationNaiveViolationsAreCountedNotFatal) {
+  SweepGrid grid = small_grid();
+  grid.seed_count = 12;
+  const SweepResult r = SweepRunner(2).run(grid);
+  for (const JobOutcome& job : r.jobs) {
+    if (job.point.algo == Algo::kAnuc) {
+      EXPECT_TRUE(job.stats.verdict.solves_nonuniform())
+          << ReplayArtifact{job.point}.to_string();
+    } else {
+      // The broken §6.3 substitution is expected-broken: never an artifact.
+      EXPECT_TRUE(job.ok);
+    }
+  }
+  EXPECT_TRUE(r.aggregate.failures.empty());
+}
+
+TEST(SweepTest, FailedExpectationEmitsReplayArtifactThatReplaysIdentically) {
+  // mr-majority with 3 of 5 crashed early can never decide: termination
+  // fails, the uniform expectation fails, and each point must surface as a
+  // replay artifact in expansion order.
+  SweepGrid grid;
+  grid.algos = {Algo::kMrMajority};
+  grid.ns = {5};
+  grid.fault_counts = {3};
+  grid.stabilizes = {40};
+  grid.crash_at = 5;
+  grid.seed_begin = 1;
+  grid.seed_count = 3;
+  grid.max_steps = 4'000;
+  const SweepResult r = SweepRunner(4).run(grid);
+
+  ASSERT_EQ(r.aggregate.runs, 3);
+  EXPECT_EQ(r.aggregate.expectation_failures, 3);
+  EXPECT_EQ(r.aggregate.termination_failures, 3);
+  ASSERT_EQ(r.aggregate.failures.size(), 3u);
+
+  for (std::size_t i = 0; i < r.aggregate.failures.size(); ++i) {
+    const ReplayArtifact& artifact = r.aggregate.failures[i];
+    EXPECT_EQ(artifact.point, r.jobs[i].point);
+
+    // Round-trip through the CLI string form...
+    const auto parsed = ReplayArtifact::parse(artifact.to_string());
+    ASSERT_TRUE(parsed.has_value()) << artifact.to_string();
+    EXPECT_EQ(*parsed, artifact);
+
+    // ...and serial re-execution reproduces the worker thread's run exactly.
+    expect_same_stats(replay_failure(*parsed), r.jobs[i].stats);
+  }
+}
+
+TEST(SweepTest, ArtifactParseRejectsGarbage) {
+  EXPECT_FALSE(ReplayArtifact::parse("").has_value());
+  EXPECT_FALSE(ReplayArtifact::parse("n=5 seed=3").has_value());  // no algo
+  EXPECT_FALSE(ReplayArtifact::parse("algo=warp n=5").has_value());
+  EXPECT_FALSE(ReplayArtifact::parse("algo=anuc n=notanumber").has_value());
+  EXPECT_FALSE(ReplayArtifact::parse("algo=anuc n=5 faults=5").has_value());
+  EXPECT_FALSE(ReplayArtifact::parse("algo=anuc bogus-token").has_value());
+  EXPECT_FALSE(ReplayArtifact::parse("algo=anuc n=5 extra=1").has_value());
+}
+
+TEST(SweepTest, AlgoNamesRoundTrip) {
+  for (Algo a : {Algo::kAnuc, Algo::kStacked, Algo::kMrMajority,
+                 Algo::kMrSigma, Algo::kNaive, Algo::kCt, Algo::kBenOr,
+                 Algo::kFromScratch}) {
+    const auto parsed = parse_algo(algo_name(a));
+    ASSERT_TRUE(parsed.has_value()) << algo_name(a);
+    EXPECT_EQ(*parsed, a);
+  }
+  EXPECT_FALSE(parse_algo("paxos").has_value());
+}
+
+TEST(SweepTest, SimulatePointMatchesRunPointSummary) {
+  SweepPoint pt;
+  pt.algo = Algo::kAnuc;
+  pt.n = 4;
+  pt.faults = 1;
+  pt.stabilize = 80;
+  pt.seed = 3;
+  pt.max_steps = 60'000;
+  const ConsensusRunStats stats = run_point(pt);
+  const SimResult sim = simulate_point(pt);
+  EXPECT_EQ(sim.run.steps.size(), stats.steps);
+  EXPECT_EQ(sim.messages_sent, stats.messages_sent);
+  EXPECT_EQ(sim.bytes_sent, stats.bytes_sent);
+  EXPECT_EQ(decisions_of(sim.automata), stats.decisions);
+}
+
+TEST(SweepTest, InfeasiblePointIsRejected) {
+  SweepPoint pt;
+  pt.n = 3;
+  pt.faults = 3;
+  EXPECT_THROW((void)run_point(pt), std::invalid_argument);
+  EXPECT_THROW((void)SweepRunner(1).run(std::vector<SweepPoint>{pt}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nucon::exp

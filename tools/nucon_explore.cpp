@@ -1,9 +1,12 @@
 // nucon_explore: run any consensus algorithm in the library under a chosen
-// environment and oracle family, and inspect the outcome.
+// environment and oracle family, and inspect the outcome. Runs execute on
+// the parallel sweep engine (src/exp/); results print in seed order and are
+// identical for any --threads value.
 //
 //   nucon_explore --algo anuc --n 5 --faults 2 --seed 7
-//   nucon_explore --algo naive --faulty-mode adversarial --seeds 50
+//   nucon_explore --algo naive --faulty-mode adversarial --seeds 50 --threads 4
 //   nucon_explore --algo from-scratch --n 7 --trace 40
+//   nucon_explore --replay 'algo=anuc n=5 faults=2 stab=120 crash=0 mode=adversarial steps=200000 seed=7'
 //
 // Flags:
 //   --algo X         anuc | stacked | mr-majority | mr-sigma | naive |
@@ -12,29 +15,19 @@
 //   --faults F       number of crashes                  (default 1)
 //   --seed S         first scheduler/oracle seed        (default 1)
 //   --seeds K        run K consecutive seeds            (default 1)
+//   --threads T      worker threads for the sweep       (default 1)
 //   --stabilize T    oracle stabilization time          (default 120)
 //   --crash-at T     pin all crashes at time T (0 = spread randomly)
 //   --max-steps M    step budget per run                (default 200000)
 //   --faulty-mode X  benign | noise | adversarial       (default adversarial)
 //   --trace N        print the first/last N steps of the run
+//   --replay 'A'     serially re-execute one replay artifact and exit
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "algo/ben_or.hpp"
-#include "algo/ct_consensus.hpp"
-#include "algo/harness.hpp"
-#include "algo/mr_consensus.hpp"
-#include "core/anuc.hpp"
-#include "core/from_scratch.hpp"
-#include "core/stacked_nuc.hpp"
-#include "fd/classic.hpp"
-#include "fd/composed.hpp"
-#include "fd/omega.hpp"
-#include "fd/scripted.hpp"
-#include "fd/sigma.hpp"
-#include "fd/sigma_nu.hpp"
+#include "exp/sweep.hpp"
 #include "sim/trace.hpp"
 
 using namespace nucon;
@@ -47,29 +40,73 @@ struct Cli {
   Pid faults = 1;
   std::uint64_t seed = 1;
   int seeds = 1;
+  int threads = 1;
   Time stabilize = 120;
   Time crash_at = 0;
   std::int64_t max_steps = 200'000;
   std::string faulty_mode = "adversarial";
   std::size_t trace = 0;
+  std::string replay;
 };
 
-FaultyQuorumBehavior parse_mode(const std::string& mode) {
+std::optional<FaultyQuorumBehavior> parse_mode(const std::string& mode) {
   if (mode == "benign") return FaultyQuorumBehavior::kBenign;
   if (mode == "noise") return FaultyQuorumBehavior::kNoise;
-  return FaultyQuorumBehavior::kAdversarialDisjoint;
+  if (mode == "adversarial") return FaultyQuorumBehavior::kAdversarialDisjoint;
+  return std::nullopt;
 }
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--algo anuc|stacked|mr-majority|mr-sigma|naive|ct|"
                "ben-or|from-scratch]\n"
-               "  [--n N] [--faults F] [--seed S] [--seeds K] "
+               "  [--n N] [--faults F] [--seed S] [--seeds K] [--threads T] "
                "[--stabilize T] [--crash-at T]\n"
                "  [--max-steps M] [--faulty-mode benign|noise|adversarial] "
-               "[--trace N]\n",
+               "[--trace N] [--replay 'ARTIFACT']\n",
                argv0);
   return 2;
+}
+
+const char* expect_text(exp::Algo algo) {
+  if (algo == exp::Algo::kNaive) {
+    return "nonuniform (NOT guaranteed: the broken §6.3 substitution)";
+  }
+  return exp::expectation(algo) == exp::Expect::kNonuniform ? "nonuniform"
+                                                            : "uniform";
+}
+
+void print_point(const exp::SweepPoint& pt, const ConsensusRunStats& stats,
+                 std::size_t trace_steps) {
+  const FailurePattern fp = exp::failure_pattern_of(pt);
+  const std::vector<Value> proposals = exp::proposals_of(pt);
+
+  std::printf("[seed %llu] %s, %s, expect %s consensus\n",
+              (unsigned long long)pt.seed, exp::algo_name(pt.algo),
+              fp.to_string().c_str(), expect_text(pt.algo));
+  for (Pid p = 0; p < pt.n; ++p) {
+    const auto& d = stats.decisions[static_cast<std::size_t>(p)];
+    std::printf("  p%d (%s) proposed %lld -> %s\n", p,
+                fp.is_correct(p) ? "correct" : "faulty ",
+                (long long)proposals[static_cast<std::size_t>(p)],
+                d ? std::to_string(*d).c_str() : "undecided");
+  }
+  const ConsensusVerdict& verdict = stats.verdict;
+  std::printf(
+      "  steps=%zu msgs=%zu bytes=%zu | termination=%d validity=%d "
+      "agreement(nonuniform=%d uniform=%d)%s%s\n",
+      stats.steps, stats.messages_sent, stats.bytes_sent, verdict.termination,
+      verdict.validity, verdict.nonuniform_agreement, verdict.uniform_agreement,
+      verdict.detail.empty() ? "" : " | ", verdict.detail.c_str());
+
+  if (trace_steps > 0) {
+    // Deterministic re-execution for the recorded run: the sweep summary
+    // discards it, and any point replays bit-for-bit anyway.
+    const SimResult sim = exp::simulate_point(pt);
+    TraceOptions to;
+    to.max_steps = trace_steps;
+    std::printf("%s", render_trace(sim.run, to).c_str());
+  }
 }
 
 }  // namespace
@@ -92,6 +129,8 @@ int main(int argc, char** argv) {
       cli.seed = std::strtoull(value, nullptr, 10);
     } else if (flag == "--seeds" && (value = next())) {
       cli.seeds = std::atoi(value);
+    } else if (flag == "--threads" && (value = next())) {
+      cli.threads = std::atoi(value);
     } else if (flag == "--stabilize" && (value = next())) {
       cli.stabilize = std::atoll(value);
     } else if (flag == "--crash-at" && (value = next())) {
@@ -102,138 +141,66 @@ int main(int argc, char** argv) {
       cli.faulty_mode = value;
     } else if (flag == "--trace" && (value = next())) {
       cli.trace = static_cast<std::size_t>(std::atoll(value));
+    } else if (flag == "--replay" && (value = next())) {
+      cli.replay = value;
     } else {
       return usage(argv[0]);
     }
   }
-  if (cli.n < 2 || cli.n > kMaxProcesses || cli.faults < 0 ||
-      cli.faults >= cli.n || cli.seeds < 1) {
+
+  if (!cli.replay.empty()) {
+    const auto artifact = exp::ReplayArtifact::parse(cli.replay);
+    if (!artifact) {
+      std::fprintf(stderr, "unparseable replay artifact: %s\n",
+                   cli.replay.c_str());
+      return usage(argv[0]);
+    }
+    std::printf("replaying serially: %s\n", artifact->to_string().c_str());
+    print_point(artifact->point, exp::replay_failure(*artifact), cli.trace);
+    return 0;
+  }
+
+  const auto algo = exp::parse_algo(cli.algo);
+  const auto mode = parse_mode(cli.faulty_mode);
+  if (!algo || !mode || cli.n < 2 || cli.n > kMaxProcesses || cli.faults < 0 ||
+      cli.faults >= cli.n || cli.seeds < 1 || cli.threads < 1) {
     return usage(argv[0]);
   }
 
-  int violations = 0;
-  int undecided = 0;
+  std::vector<exp::SweepPoint> points;
+  points.reserve(static_cast<std::size_t>(cli.seeds));
   for (int k = 0; k < cli.seeds; ++k) {
-    const std::uint64_t seed = cli.seed + static_cast<std::uint64_t>(k);
+    exp::SweepPoint pt;
+    pt.algo = *algo;
+    pt.n = cli.n;
+    pt.faults = cli.faults;
+    pt.stabilize = cli.stabilize;
+    pt.crash_at = cli.crash_at;
+    pt.faulty_mode = *mode;
+    pt.max_steps = cli.max_steps;
+    pt.seed = cli.seed + static_cast<std::uint64_t>(k);
+    points.push_back(pt);
+  }
 
-    FailurePattern fp(cli.n);
-    {
-      Rng rng(seed * 2654435761ULL + 99);
-      for (Pid p : rng.pick_subset(ProcessSet::full(cli.n), cli.faults)) {
-        fp.set_crash(p, cli.crash_at > 0
-                            ? cli.crash_at
-                            : rng.range(10, std::max<Time>(cli.stabilize - 10, 11)));
-      }
-    }
+  const exp::SweepResult sweep =
+      exp::SweepRunner(static_cast<unsigned>(cli.threads)).run(points);
 
-    // Build the oracle stack and the factory for the chosen algorithm.
-    OmegaOptions oo;
-    oo.stabilize_at = cli.stabilize;
-    oo.seed = seed;
-    OmegaOracle omega(fp, oo);
-    SigmaOptions so;
-    so.stabilize_at = cli.stabilize;
-    so.seed = seed + 0x51;
-    SigmaOracle sigma(fp, so);
-    SigmaNuOptions sno;
-    sno.stabilize_at = cli.stabilize;
-    sno.seed = seed + 0x52;
-    sno.faulty = parse_mode(cli.faulty_mode);
-    SigmaNuOracle sigma_nu(fp, sno);
-    SigmaNuPlusOptions spo;
-    spo.stabilize_at = cli.stabilize;
-    spo.seed = seed + 0x53;
-    spo.faulty = parse_mode(cli.faulty_mode);
-    SigmaNuPlusOracle sigma_nu_plus(fp, spo);
-    SuspectsOptions sso;
-    sso.stabilize_at = cli.stabilize;
-    sso.seed = seed + 0x54;
-    EvtStrongOracle evt_strong(fp, sso);
-    ScriptedOracle none([](Pid, Time) { return FdValue{}; });
-    ComposedOracle omega_and_sigma(omega, sigma);
-    ComposedOracle omega_and_nu(omega, sigma_nu);
-    ComposedOracle omega_and_nu_plus(omega, sigma_nu_plus);
-
-    Oracle* oracle = nullptr;
-    ConsensusFactory make;
-    const char* expect = "nonuniform";
-    if (cli.algo == "anuc") {
-      oracle = &omega_and_nu_plus;
-      make = make_anuc(cli.n);
-    } else if (cli.algo == "stacked") {
-      oracle = &omega_and_nu;
-      make = make_stacked_nuc(cli.n);
-    } else if (cli.algo == "mr-majority") {
-      oracle = &omega;
-      make = make_mr_majority(cli.n);
-      expect = "uniform";
-    } else if (cli.algo == "mr-sigma") {
-      oracle = &omega_and_sigma;
-      make = make_mr_fd_quorum(cli.n);
-      expect = "uniform";
-    } else if (cli.algo == "naive") {
-      oracle = &omega_and_nu;
-      make = make_mr_fd_quorum(cli.n);
-      expect = "nonuniform (NOT guaranteed: the broken §6.3 substitution)";
-    } else if (cli.algo == "ct") {
-      oracle = &evt_strong;
-      make = make_ct(cli.n);
-      expect = "uniform";
-    } else if (cli.algo == "ben-or") {
-      oracle = &none;
-      make = make_ben_or(cli.n, static_cast<Pid>((cli.n - 1) / 2), seed);
-      expect = "uniform";
-    } else if (cli.algo == "from-scratch") {
-      oracle = &none;
-      make = make_from_scratch(cli.n, static_cast<Pid>((cli.n - 1) / 2));
-      expect = "uniform";
-    } else {
-      return usage(argv[0]);
-    }
-
-    std::vector<Value> proposals(static_cast<std::size_t>(cli.n));
-    for (Pid p = 0; p < cli.n; ++p) proposals[static_cast<std::size_t>(p)] = p % 2;
-
-    SchedulerOptions opts;
-    opts.seed = seed;
-    opts.max_steps = cli.max_steps;
-    SimResult sim = simulate_consensus(fp, *oracle, make, proposals, opts);
-    const auto decisions = decisions_of(sim.automata);
-    const auto verdict = check_consensus(fp, proposals, decisions);
-
-    std::printf("[seed %llu] %s, %s, expect %s consensus\n",
-                (unsigned long long)seed, cli.algo.c_str(),
-                fp.to_string().c_str(), expect);
-    for (Pid p = 0; p < cli.n; ++p) {
-      const auto& d = decisions[static_cast<std::size_t>(p)];
-      std::printf("  p%d (%s) proposed %lld -> %s\n", p,
-                  fp.is_correct(p) ? "correct" : "faulty ",
-                  (long long)proposals[static_cast<std::size_t>(p)],
-                  d ? std::to_string(*d).c_str() : "undecided");
-    }
-    std::printf(
-        "  steps=%zu msgs=%zu bytes=%zu | termination=%d validity=%d "
-        "agreement(nonuniform=%d uniform=%d)%s%s\n",
-        sim.run.steps.size(), sim.messages_sent, sim.bytes_sent,
-        verdict.termination, verdict.validity, verdict.nonuniform_agreement,
-        verdict.uniform_agreement, verdict.detail.empty() ? "" : " | ",
-        verdict.detail.c_str());
-
-    if (cli.trace > 0) {
-      TraceOptions to;
-      to.max_steps = cli.trace;
-      std::printf("%s", render_trace(sim.run, to).c_str());
-    }
-
-    violations += !verdict.nonuniform_agreement;
-    undecided += !all_correct_decided(fp, sim.automata);
+  for (const exp::JobOutcome& job : sweep.jobs) {
+    print_point(job.point, job.stats, cli.trace);
   }
 
   if (cli.seeds > 1) {
+    const exp::SweepAggregate& agg = sweep.aggregate;
     std::printf(
-        "\nsummary: %d runs, %d undecided, %d nonuniform-agreement "
-        "violations\n",
-        cli.seeds, undecided, violations);
+        "\nsummary: %lld runs, %lld undecided, %lld nonuniform-agreement "
+        "violations (%d threads, %.2fs)\n",
+        (long long)agg.runs, (long long)agg.undecided,
+        (long long)agg.nonuniform_violations, cli.threads,
+        sweep.wall_seconds);
+    for (const exp::ReplayArtifact& a : agg.failures) {
+      std::printf("replay failed run with: %s --replay '%s'\n", argv[0],
+                  a.to_string().c_str());
+    }
   }
   return 0;
 }
