@@ -50,7 +50,8 @@ void experiments() {
                TextTable::fmt(agg.decide_rounds.mean(), 1)});
   };
 
-  const exp::SweepRunner runner(threads);
+  exp::SweepRunner runner(threads);
+  runner.set_trace_dir("bench-traces/e6");
   add("naive MR-quorum", "(Omega,Sigma^nu) adversarial",
       runner.run(family_grid(exp::Algo::kNaive, seeds)).aggregate);
   const exp::SweepResult anuc_sweep =
@@ -62,10 +63,15 @@ void experiments() {
 
   // Any A_nuc nonuniform violation would be a library bug; the engine hands
   // back a serially re-runnable artifact for each.
-  for (const exp::ReplayArtifact& a : anuc_sweep.aggregate.failures) {
+  const exp::SweepAggregate& anuc_agg = anuc_sweep.aggregate;
+  for (std::size_t i = 0; i < anuc_agg.failures.size(); ++i) {
     std::printf("UNEXPECTED A_nuc failure — replay with: nucon_explore "
                 "--replay '%s'\n",
-                a.to_string().c_str());
+                anuc_agg.failures[i].to_string().c_str());
+    if (i < anuc_agg.failure_trace_paths.size()) {
+      std::printf("  trace attached: %s (inspect with trace_dump)\n",
+                  anuc_agg.failure_trace_paths[i].c_str());
+    }
   }
 
   // The concrete witness the paper narrates: first seed with two correct

@@ -131,7 +131,9 @@ void experiments() {
     grid.seed_count = 20;
     grid.max_steps = 400'000;
 
-    const exp::SweepResult serial = exp::SweepRunner(1).run(grid);
+    exp::SweepRunner serial_runner(1);
+    serial_runner.set_trace_dir("bench-traces/e5d");
+    const exp::SweepResult serial = serial_runner.run(grid);
     const unsigned threads =
         std::max(4u, std::thread::hardware_concurrency());
     const exp::SweepResult parallel = exp::SweepRunner(threads).run(grid);
@@ -151,10 +153,26 @@ void experiments() {
                                   std::max(parallel.wall_seconds, 1e-9),
                               2)});
     print_section("E5d: A_nuc sufficiency sweep on the parallel engine", t);
-    for (const exp::ReplayArtifact& a : agg.failures) {
+    std::printf(
+        "E5d metrics: steps=%lld delivers=%lld (forced %lld) "
+        "delay[p50=%lld p99=%lld max=%lld]\n",
+        (long long)agg.metrics.counter_value("scheduler.steps"),
+        (long long)agg.metrics.counter_value("scheduler.delivers"),
+        (long long)agg.metrics.counter_value("scheduler.forced_deliveries"),
+        (long long)agg.metrics.histograms().at("scheduler.delivery_delay")
+            .quantile(0.5),
+        (long long)agg.metrics.histograms().at("scheduler.delivery_delay")
+            .quantile(0.99),
+        (long long)agg.metrics.histograms().at("scheduler.delivery_delay")
+            .max());
+    for (std::size_t i = 0; i < agg.failures.size(); ++i) {
       std::printf("UNEXPECTED failure — replay with: nucon_explore --replay "
                   "'%s'\n",
-                  a.to_string().c_str());
+                  agg.failures[i].to_string().c_str());
+      if (i < agg.failure_trace_paths.size()) {
+        std::printf("  trace attached: %s (inspect with trace_dump)\n",
+                    agg.failure_trace_paths[i].c_str());
+      }
     }
   }
 }

@@ -80,8 +80,9 @@ void experiments() {
         }
       }
     }
-    const exp::SweepResult sweep =
-        exp::SweepRunner(std::thread::hardware_concurrency()).run(points);
+    exp::SweepRunner runner(std::thread::hardware_concurrency());
+    runner.set_trace_dir("bench-traces/e7b");
+    const exp::SweepResult sweep = runner.run(points);
 
     TextTable t({"n", "t", "faults", "runs", "decided", "mean_round",
                  "mean_steps", "mean_msgs", "uniform_ok"});
@@ -111,10 +112,14 @@ void experiments() {
         "E7b: consensus with no oracle at all (Omega election + Sigma from "
         "scratch + MR), 10-seed sweeps",
         t);
-    for (const exp::ReplayArtifact& a : sweep.aggregate.failures) {
+    for (std::size_t i = 0; i < sweep.aggregate.failures.size(); ++i) {
       std::printf("UNEXPECTED failure — replay with: nucon_explore --replay "
                   "'%s'\n",
-                  a.to_string().c_str());
+                  sweep.aggregate.failures[i].to_string().c_str());
+      if (i < sweep.aggregate.failure_trace_paths.size()) {
+        std::printf("  trace attached: %s (inspect with trace_dump)\n",
+                    sweep.aggregate.failure_trace_paths[i].c_str());
+      }
     }
   }
 

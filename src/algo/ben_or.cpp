@@ -96,7 +96,10 @@ void BenOr::advance(std::vector<Outgoing>& out) {
     // would each need a strict majority of reports).
     const Value v = count[1] > 0 ? 1 : 0;
     if (count[v] >= t_ + 1) {
-      if (!decided_) decided_ = v;
+      if (!decided_) {
+        decided_ = v;
+        decided_round_ = round_;
+      }
       x_ = v;
     } else if (count[v] >= 1) {
       x_ = v;
@@ -112,6 +115,7 @@ std::optional<Bytes> BenOr::snapshot() const {
   ByteWriter w;
   w.svarint(x_);
   w.uvarint(static_cast<std::uint64_t>(round_));
+  w.uvarint(static_cast<std::uint64_t>(decided_round_));
   w.u8(static_cast<std::uint8_t>(phase_));
   w.u8(decided_.has_value());
   if (decided_) w.svarint(*decided_);

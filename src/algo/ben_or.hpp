@@ -38,6 +38,8 @@ class BenOr final : public ConsensusAutomaton {
   [[nodiscard]] std::optional<Bytes> snapshot() const override;
 
   [[nodiscard]] int round() const { return round_; }
+  /// Round in which this process first decided (0 if undecided).
+  [[nodiscard]] int decided_round() const { return decided_round_; }
   [[nodiscard]] std::int64_t coin_flips() const { return coin_flips_; }
 
  private:
@@ -60,6 +62,7 @@ class BenOr final : public ConsensusAutomaton {
 
   Value x_;
   int round_ = 0;
+  int decided_round_ = 0;
   Phase phase_ = Phase::kAwaitReports;
   std::optional<Value> decided_;
   Rng coin_;

@@ -45,12 +45,19 @@ ConsensusRunStats run_consensus(const FailurePattern& fp, Oracle& oracle,
       decided_round = ct->decided_round();
     } else if (const auto* bo = dynamic_cast<const BenOr*>(a)) {
       round = bo->round();
+      decided_round = bo->decided_round();
     }
     stats.max_round = std::max(stats.max_round, round);
     if (fp.is_correct(p)) {
       stats.decide_round = std::max(stats.decide_round, decided_round);
     }
   }
+
+  stats.metrics = std::move(sim.metrics);
+  stats.metrics.counter("consensus.max_round") = stats.max_round;
+  stats.metrics.counter("consensus.decide_round") = stats.decide_round;
+  stats.metrics.counter("consensus.all_correct_decided") =
+      stats.all_correct_decided;
   return stats;
 }
 

@@ -9,6 +9,7 @@
 #include "check/consensus_checker.hpp"
 #include "fd/failure_detector.hpp"
 #include "sim/scheduler.hpp"
+#include "trace/metrics.hpp"
 
 namespace nucon {
 
@@ -26,6 +27,11 @@ struct ConsensusRunStats {
   std::size_t steps = 0;
   Time end_time = 0;
   bool all_correct_decided = false;
+
+  /// Run-interior counters/histograms from the scheduler plus the
+  /// harness's own `consensus.*` entries; the sweep engine folds these
+  /// into SweepAggregate::metrics in expansion order.
+  trace::MetricsRegistry metrics;
 };
 
 [[nodiscard]] ConsensusRunStats run_consensus(const FailurePattern& fp,

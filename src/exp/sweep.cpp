@@ -1,7 +1,11 @@
 #include "exp/sweep.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <sstream>
 #include <stdexcept>
@@ -205,6 +209,18 @@ std::optional<Algo> parse_algo(const std::string& name) {
 
 Expect expectation(Algo a) { return info_of(a).expect; }
 
+const char* expect_name(Expect e) {
+  switch (e) {
+    case Expect::kNonuniform:
+      return "nonuniform";
+    case Expect::kUniform:
+      return "uniform";
+    case Expect::kNone:
+      return "none";
+  }
+  return "none";
+}
+
 std::vector<SweepPoint> SweepGrid::expand() const {
   std::vector<SweepPoint> points;
   for (Algo algo : algos) {
@@ -261,6 +277,16 @@ std::optional<ReplayArtifact> ReplayArtifact::parse(const std::string& line) {
       const auto m = parse_mode(value);
       if (!m) return std::nullopt;
       pt.faulty_mode = *m;
+    } else if (key == "seed") {
+      // Seeds are unsigned: std::stoll would reject (throw on) every seed
+      // >= 2^63, so artifacts printed from the top half of the seed space
+      // would not round-trip. Signed fields below keep std::stoll.
+      if (value.empty() || value[0] == '-') return std::nullopt;
+      try {
+        pt.seed = std::stoull(value);
+      } catch (...) {
+        return std::nullopt;
+      }
     } else {
       std::int64_t v = 0;
       try {
@@ -278,8 +304,6 @@ std::optional<ReplayArtifact> ReplayArtifact::parse(const std::string& line) {
         pt.crash_at = v;
       } else if (key == "steps") {
         pt.max_steps = v;
-      } else if (key == "seed") {
-        pt.seed = static_cast<std::uint64_t>(v);
       } else {
         return std::nullopt;
       }
@@ -296,10 +320,17 @@ FailurePattern failure_pattern_of(const SweepPoint& pt) {
   validate(pt);
   FailurePattern fp(pt.n);
   Rng rng(pt.seed * 2654435761ULL + 99);
+  // Random crash times land in [lo, hi]: shortly before stabilization when
+  // stabilize is large enough, otherwise a floor window derived from the
+  // step budget. The old upper bound max(stabilize - 10, 11) collapsed the
+  // window to {10, 11} for every stabilize <= 21, so all small-stabilize
+  // grid cells silently tested the same crash time.
+  const Time lo = 10;
+  const Time budget_hi = std::clamp<Time>(pt.max_steps / 4, lo + 10, 64);
+  const Time hi = std::max<Time>(pt.stabilize - 10, budget_hi);
+  assert(hi > lo && "degenerate crash-time window");
   for (Pid p : rng.pick_subset(ProcessSet::full(pt.n), pt.faults)) {
-    fp.set_crash(p, pt.crash_at > 0
-                        ? pt.crash_at
-                        : rng.range(10, std::max<Time>(pt.stabilize - 10, 11)));
+    fp.set_crash(p, pt.crash_at > 0 ? pt.crash_at : rng.range(lo, hi));
   }
   return fp;
 }
@@ -324,6 +355,27 @@ SimResult simulate_point(const SweepPoint& pt) {
 
 ConsensusRunStats replay_failure(const ReplayArtifact& artifact) {
   return run_point(artifact.point);
+}
+
+TracedRun trace_point(const SweepPoint& pt, trace::TraceRecorder::Options opts) {
+  PointSetup setup(pt);
+  trace::TraceRecorder recorder(opts);
+  recorder.begin_run(setup.fp, ReplayArtifact{pt}.to_string(),
+                     expect_name(expectation(pt.algo)));
+  setup.opts.trace = &recorder;
+
+  TracedRun out;
+  out.stats = run_consensus(setup.fp, *setup.oracle.top, setup.make,
+                            setup.proposals, setup.opts);
+  const ConsensusVerdict& v = out.stats.verdict;
+  recorder.annotate(
+      std::string("{\"k\":\"verdict\",\"termination\":") +
+      (v.termination ? "true" : "false") + ",\"validity\":" +
+      (v.validity ? "true" : "false") + ",\"nonuniform_agreement\":" +
+      (v.nonuniform_agreement ? "true" : "false") + ",\"uniform_agreement\":" +
+      (v.uniform_agreement ? "true" : "false") + "}");
+  out.jsonl = recorder.jsonl();
+  return out;
 }
 
 SweepResult SweepRunner::run(const SweepGrid& grid) const {
@@ -370,11 +422,25 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& points) const {
     if (!job.ok) {
       ++agg.expectation_failures;
       agg.failures.push_back(ReplayArtifact{job.point});
+      if (!trace_dir_.empty()) {
+        // Serial re-execution with a recorder attached: bit-identical to
+        // the worker's run by the replay guarantee, and performed in the
+        // serial fold, so the written bytes do not depend on thread count.
+        std::filesystem::create_directories(trace_dir_);
+        const std::string path =
+            trace_dir_ + "/failure-" +
+            std::to_string(agg.failures.size() - 1) + ".trace.jsonl";
+        const TracedRun traced = trace_point(job.point);
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f << traced.jsonl;
+        agg.failure_trace_paths.push_back(path);
+      }
     }
     if (job.stats.decide_round > 0) agg.decide_rounds.add(job.stats.decide_round);
     agg.steps.add(static_cast<double>(job.stats.steps));
     agg.messages.add(static_cast<double>(job.stats.messages_sent));
     agg.kbytes.add(static_cast<double>(job.stats.bytes_sent) / 1024.0);
+    agg.metrics.merge(job.stats.metrics);
   }
   return result;
 }

@@ -27,6 +27,7 @@
 
 #include "algo/harness.hpp"
 #include "fd/sigma_nu.hpp"
+#include "trace/trace_recorder.hpp"
 #include "util/stats.hpp"
 
 namespace nucon::exp {
@@ -52,6 +53,7 @@ enum class Algo {
 /// violations are counted but do not spawn replay artifacts.
 enum class Expect { kNonuniform, kUniform, kNone };
 [[nodiscard]] Expect expectation(Algo a);
+[[nodiscard]] const char* expect_name(Expect e);
 
 /// One grid point == one deterministic run.
 struct SweepPoint {
@@ -120,8 +122,16 @@ struct SweepAggregate {
   Accumulator messages;
   Accumulator kbytes;
 
+  /// Per-job MetricsRegistry entries merged serially in expansion order
+  /// (integer-only, so bit-identical for any thread count).
+  trace::MetricsRegistry metrics;
+
   /// One artifact per failed-expectation point, in expansion order.
   std::vector<ReplayArtifact> failures;
+
+  /// When the runner has a trace dir: one JSONL trace path per entry of
+  /// `failures`, same order (empty otherwise).
+  std::vector<std::string> failure_trace_paths;
 };
 
 struct SweepResult {
@@ -137,11 +147,19 @@ class SweepRunner {
   /// threads == 0 picks hardware concurrency.
   explicit SweepRunner(unsigned threads = 0) : threads_(threads) {}
 
+  /// Auto-attach a JSONL trace to every failed-expectation job: each one
+  /// is re-executed serially (bit-identical by construction) with a
+  /// TraceRecorder and written to `dir/failure-<index>.trace.jsonl`; the
+  /// paths land in SweepAggregate::failure_trace_paths next to the replay
+  /// artifacts. Empty (the default) disables attachment.
+  void set_trace_dir(std::string dir) { trace_dir_ = std::move(dir); }
+
   [[nodiscard]] SweepResult run(const std::vector<SweepPoint>& points) const;
   [[nodiscard]] SweepResult run(const SweepGrid& grid) const;
 
  private:
   unsigned threads_;
+  std::string trace_dir_;
 };
 
 /// The failure pattern a point deterministically denotes.
@@ -161,5 +179,16 @@ class SweepRunner {
 /// Serial re-execution of a failed point. Identical to run_point by
 /// construction — the guarantee a replay artifact exists to exploit.
 [[nodiscard]] ConsensusRunStats replay_failure(const ReplayArtifact& artifact);
+
+/// One point executed with a TraceRecorder attached: the stats summary
+/// plus the JSONL trace document (meta line, typed events, trailing
+/// verdict line). The JSONL is a pure function of the point, so it is
+/// byte-identical wherever it is produced.
+struct TracedRun {
+  ConsensusRunStats stats;
+  std::string jsonl;
+};
+[[nodiscard]] TracedRun trace_point(const SweepPoint& pt,
+                                    trace::TraceRecorder::Options opts = {});
 
 }  // namespace nucon::exp

@@ -36,7 +36,10 @@ FdValue SigmaNuOracle::value(Pid p, Time t) {
           noisy_superset(ProcessSet::single(p), fp_.faulty(), mix));
     case FaultyQuorumBehavior::kNoise: {
       Rng rng(mix);
-      const int k = static_cast<int>(rng.below(static_cast<std::uint64_t>(fp_.n()) + 1));
+      // k >= 1: an empty quorum would vacuously satisfy every
+      // "quorum ⊆ heard-from" wait and understate contamination pressure.
+      const int k =
+          1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(fp_.n())));
       return FdValue::of_quorum(rng.pick_subset(all, k));
     }
     case FaultyQuorumBehavior::kBenign:

@@ -4,17 +4,24 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "trace/trace_recorder.hpp"
 #include "util/rng.hpp"
 
 namespace nucon {
 namespace {
 
-/// Picks which message (index into the pending queue of p), if any, the
-/// next step of p receives.
-std::optional<std::size_t> choose_delivery(const MessageBuffer& buffer, Pid p,
-                                           Time now,
-                                           const SchedulerOptions& opts,
-                                           Rng& rng) {
+/// A delivery decision: which pending message (index into the queue of p)
+/// the next step receives, and how the choice was made (metrics/tracing).
+struct Delivery {
+  std::size_t index = 0;
+  bool forced = false;    // fairness backstop fired
+  bool shuffled = false;  // random pick instead of FIFO head
+};
+
+/// Picks which message, if any, the next step of p receives.
+std::optional<Delivery> choose_delivery(const MessageBuffer& buffer, Pid p,
+                                        Time now, const SchedulerOptions& opts,
+                                        Rng& rng) {
   const std::size_t pending = buffer.pending_for(p);
   if (pending == 0) return std::nullopt;
 
@@ -26,16 +33,16 @@ std::optional<std::size_t> choose_delivery(const MessageBuffer& buffer, Pid p,
     for (std::size_t i = 1; i < pending; ++i) {
       if (buffer.peek(p, i).sent_at < buffer.peek(p, best).sent_at) best = i;
     }
-    return best;
+    return Delivery{best, /*forced=*/true, /*shuffled=*/false};
   }
 
   if (rng.chance(static_cast<std::uint64_t>(opts.lambda_percent), 100)) {
     return std::nullopt;
   }
   if (rng.chance(static_cast<std::uint64_t>(opts.shuffle_percent), 100)) {
-    return rng.below(pending);
+    return Delivery{rng.below(pending), false, /*shuffled=*/true};
   }
-  return 0;  // oldest in FIFO order
+  return Delivery{0, false, false};  // oldest in FIFO order
 }
 
 }  // namespace
@@ -47,6 +54,33 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
   SimResult result(fp);
   result.automata.reserve(static_cast<std::size_t>(n));
   for (Pid p = 0; p < n; ++p) result.automata.push_back(make(p));
+
+  // Resolved once so decide detection below is a plain virtual call per
+  // step, not a dynamic_cast per step.
+  std::vector<ConsensusAutomaton*> consensus(static_cast<std::size_t>(n));
+  std::vector<bool> decided(static_cast<std::size_t>(n), false);
+  for (Pid p = 0; p < n; ++p) {
+    consensus[static_cast<std::size_t>(p)] =
+        dynamic_cast<ConsensusAutomaton*>(result.automata[static_cast<std::size_t>(p)].get());
+  }
+
+  // Hot-loop metric handles (references into result.metrics stay stable).
+  trace::MetricsRegistry& metrics = result.metrics;
+  std::int64_t& m_steps = metrics.counter("scheduler.steps");
+  std::int64_t& m_lambda = metrics.counter("scheduler.lambda_steps");
+  std::int64_t& m_delivers = metrics.counter("scheduler.delivers");
+  std::int64_t& m_forced = metrics.counter("scheduler.forced_deliveries");
+  std::int64_t& m_shuffled = metrics.counter("scheduler.shuffled_deliveries");
+  std::int64_t& m_sends = metrics.counter("scheduler.sends");
+  std::int64_t& m_decides = metrics.counter("scheduler.decides");
+  trace::Histogram& m_delay = metrics.histogram("scheduler.delivery_delay");
+  trace::Histogram& m_payload = metrics.histogram("scheduler.payload_bytes");
+
+#ifndef NUCON_DISABLE_TRACING
+  const bool hash_states =
+      opts.trace != nullptr && opts.trace->options().state_hashes;
+  std::vector<std::uint64_t> last_state_hash(static_cast<std::size_t>(n), 0);
+#endif
 
   Rng rng(opts.seed);
   MessageBuffer buffer;
@@ -79,7 +113,7 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
 
       const auto delivery = choose_delivery(buffer, p, now, opts, rng);
       std::optional<Message> msg;
-      if (delivery) msg = buffer.take(p, *delivery);
+      if (delivery) msg = buffer.take(p, delivery->index);
 
       const FdValue d = oracle.value(p, now);
 
@@ -89,6 +123,19 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
       rec.t = now;
       if (msg) rec.received = msg->id;
       result.run.steps.push_back(rec);
+
+      ++m_steps;
+      NUCON_TRACE(opts.trace, on_step(rec));
+      NUCON_TRACE(opts.trace, on_oracle_query(p, now, d));
+      if (msg) {
+        ++m_delivers;
+        m_forced += delivery->forced;
+        m_shuffled += delivery->shuffled;
+        m_delay.add(now - msg->sent_at);
+        NUCON_TRACE(opts.trace, on_deliver(p, *msg, now, delivery->forced));
+      } else {
+        ++m_lambda;
+      }
 
       sends.clear();
       if (msg) {
@@ -107,7 +154,34 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
         m.payload = std::move(o.payload);
         result.bytes_sent += m.payload.size();
         ++result.messages_sent;
+        ++m_sends;
+        m_payload.add(static_cast<std::int64_t>(m.payload.size()));
+        NUCON_TRACE(opts.trace, on_send(p, m));
         buffer.add(std::move(m));
+      }
+
+#ifndef NUCON_DISABLE_TRACING
+      if (hash_states) {
+        const auto snap =
+            result.automata[static_cast<std::size_t>(p)]->snapshot();
+        if (snap) {
+          const std::uint64_t h = trace::state_hash_of(*snap);
+          auto& last = last_state_hash[static_cast<std::size_t>(p)];
+          if (h != last) {
+            last = h;
+            opts.trace->on_state_transition(p, now, h);
+          }
+        }
+      }
+#endif
+
+      ConsensusAutomaton* c = consensus[static_cast<std::size_t>(p)];
+      if (c != nullptr && !decided[static_cast<std::size_t>(p)]) {
+        if (const auto decision = c->decision()) {
+          decided[static_cast<std::size_t>(p)] = true;
+          ++m_decides;
+          NUCON_TRACE(opts.trace, on_decide(p, now, *decision));
+        }
       }
 
       if (opts.on_step) opts.on_step(rec, result.automata);
@@ -125,6 +199,9 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
 
   result.end_time = now;
   result.undelivered_at_end = buffer.total_pending();
+  metrics.counter("scheduler.end_time") = now;
+  metrics.counter("scheduler.undelivered_at_end") =
+      static_cast<std::int64_t>(result.undelivered_at_end);
   return result;
 }
 

@@ -13,6 +13,11 @@
 
 #include "fd/failure_detector.hpp"
 #include "sim/run.hpp"
+#include "trace/metrics.hpp"
+
+namespace nucon::trace {
+class TraceRecorder;
+}  // namespace nucon::trace
 
 namespace nucon {
 
@@ -49,6 +54,12 @@ struct SchedulerOptions {
   std::function<void(const StepRecord&,
                      const std::vector<std::unique_ptr<Automaton>>&)>
       on_step;
+
+  /// Optional structured trace recorder (trace/trace_recorder.hpp). The
+  /// scheduler feeds it typed step/send/deliver/oracle-query/decide events;
+  /// null costs one pointer test per hook site (and nothing at all when the
+  /// library is built with NUCON_DISABLE_TRACING).
+  trace::TraceRecorder* trace = nullptr;
 };
 
 struct SimResult {
@@ -62,6 +73,11 @@ struct SimResult {
   std::size_t messages_sent = 0;
   std::size_t bytes_sent = 0;
   std::size_t undelivered_at_end = 0;
+
+  /// What happened inside the run, as counters/histograms (always
+  /// collected; integer-only, so deterministic under any aggregation
+  /// order). Keys are documented in EXPERIMENTS.md.
+  trace::MetricsRegistry metrics;
 };
 
 /// Executes up to opts.max_steps steps of the algorithm given by `make`

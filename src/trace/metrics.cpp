@@ -1,0 +1,42 @@
+#include "trace/metrics.hpp"
+
+#include <sstream>
+
+namespace nucon::trace {
+
+std::int64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
+  const auto target = static_cast<std::int64_t>(q * static_cast<double>(count_));
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      // Upper bound of bucket i, clamped into the observed range.
+      const std::int64_t hi = i == 0 ? 1 : (std::int64_t{1} << (i + 1)) - 1;
+      return hi < max_ ? (hi > min_ ? hi : min_) : max_;
+    }
+  }
+  return max();
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+}
+
+std::string MetricsRegistry::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : counters_) {
+    os << name << " = " << v << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << ": count=" << h.count() << " mean=" << h.mean()
+       << " p50=" << h.quantile(0.5) << " p99=" << h.quantile(0.99)
+       << " min=" << h.min() << " max=" << h.max() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace nucon::trace

@@ -1,0 +1,118 @@
+// Deterministic run metrics: named counters and log2-bucketed histograms.
+//
+// Every simulated run produces a small MetricsRegistry (populated by the
+// scheduler and the consensus harness) describing *what happened inside
+// the run*: steps, lambda steps, forced deliveries, delivery delays,
+// payload sizes, decides. The sweep engine folds per-job registries into
+// the SweepAggregate serially in expansion order, and everything here is
+// integer arithmetic, so aggregated metrics are bit-identical for any
+// thread count — the same guarantee the engine makes for its float
+// accumulators, obtained more cheaply.
+//
+// Histograms bucket by floor(log2(value)): coarse, but merge is a plain
+// bucket-wise sum and quantile estimates are good to a factor of two,
+// which is all the experiment tables need.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace nucon::trace {
+
+class Histogram {
+ public:
+  /// One bucket per power of two (bucket 0 holds values <= 0 and 1).
+  static constexpr int kBuckets = 64;
+
+  void add(std::int64_t v) {
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (count_ == 1 || v > max_) max_ = v;
+    ++buckets_[bucket_of(v)];
+  }
+
+  void merge(const Histogram& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  }
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t sum() const { return sum_; }
+  [[nodiscard]] std::int64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::int64_t max() const { return count_ ? max_ : 0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Upper bound of the bucket containing the q-quantile (0 <= q <= 1);
+  /// exact to within a factor of two.
+  [[nodiscard]] std::int64_t quantile(double q) const;
+
+  friend bool operator==(const Histogram&, const Histogram&) = default;
+
+ private:
+  [[nodiscard]] static int bucket_of(std::int64_t v) {
+    if (v <= 1) return 0;
+    int b = 0;
+    while (v > 1) {
+      v >>= 1;
+      ++b;
+    }
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  std::int64_t buckets_[kBuckets] = {};
+};
+
+/// Named counters and histograms for one run (or, after merging, for a
+/// whole sweep). Lookups return stable references — hot loops resolve a
+/// name once and increment through the reference.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] std::int64_t& counter(const std::string& name) {
+    return counters_[name];
+  }
+  [[nodiscard]] Histogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  /// Value of a counter (0 if never touched).
+  [[nodiscard]] std::int64_t counter_value(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Counters add, histograms merge; names union. Deterministic because
+  /// everything is integer arithmetic over ordered maps.
+  void merge(const MetricsRegistry& other);
+
+  [[nodiscard]] const std::map<std::string, std::int64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Compact one-metric-per-line rendering for the bench binaries.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const MetricsRegistry&,
+                         const MetricsRegistry&) = default;
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace nucon::trace

@@ -1,0 +1,164 @@
+#include "trace/trace_reader.hpp"
+
+#include <cstdlib>
+
+namespace nucon::trace {
+namespace {
+
+/// Value of an integer field `"name":123`, or nullopt.
+std::optional<std::int64_t> int_field(const std::string& line,
+                                      const std::string& name) {
+  const std::string key = "\"" + name + "\":";
+  const auto pos = line.find(key);
+  if (pos == std::string::npos) return std::nullopt;
+  return std::strtoll(line.c_str() + pos + key.size(), nullptr, 10);
+}
+
+/// Value of a string field `"name":"..."` (no unescaping beyond \" — the
+/// recorder only escapes quotes, backslashes and control characters, none
+/// of which occur in artifact strings).
+std::optional<std::string> string_field(const std::string& line,
+                                        const std::string& name) {
+  const std::string key = "\"" + name + "\":\"";
+  const auto pos = line.find(key);
+  if (pos == std::string::npos) return std::nullopt;
+  std::string out;
+  for (std::size_t i = pos + key.size(); i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      out += line[++i];
+    } else if (line[i] == '"') {
+      return out;
+    } else {
+      out += line[i];
+    }
+  }
+  return std::nullopt;  // unterminated
+}
+
+/// Members of an integer-array field `"name":[1,2,3]`.
+std::optional<ProcessSet> set_field(const std::string& line,
+                                    const std::string& name) {
+  const std::string key = "\"" + name + "\":[";
+  const auto pos = line.find(key);
+  if (pos == std::string::npos) return std::nullopt;
+  ProcessSet out;
+  const char* s = line.c_str() + pos + key.size();
+  while (*s != ']' && *s != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s) return std::nullopt;
+    out.insert(static_cast<Pid>(v));
+    s = *end == ',' ? end + 1 : end;
+  }
+  return *s == ']' ? std::optional<ProcessSet>(out) : std::nullopt;
+}
+
+/// The raw JSON fragment of an object-valued field `"name":{...}`.
+std::optional<std::string> object_field(const std::string& line,
+                                        const std::string& name) {
+  const std::string key = "\"" + name + "\":{";
+  const auto pos = line.find(key);
+  if (pos == std::string::npos) return std::nullopt;
+  const auto end = line.find('}', pos);
+  if (end == std::string::npos) return std::nullopt;
+  return line.substr(pos + key.size() - 1, end - (pos + key.size() - 1) + 1);
+}
+
+}  // namespace
+
+std::optional<ParsedTrace> parse_trace(const std::string& jsonl) {
+  ParsedTrace trace;
+  bool saw_meta = false;
+
+  std::size_t begin = 0;
+  while (begin < jsonl.size()) {
+    auto end = jsonl.find('\n', begin);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string line = jsonl.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+
+    const auto kind = string_field(line, "k");
+    if (!kind) return std::nullopt;
+
+    if (*kind == "meta") {
+      const auto n = int_field(line, "n");
+      const auto correct = set_field(line, "correct");
+      if (!n || !correct) return std::nullopt;
+      trace.n = static_cast<Pid>(*n);
+      trace.correct = *correct;
+      trace.artifact = string_field(line, "artifact").value_or("");
+      trace.expect = string_field(line, "expect").value_or("");
+      saw_meta = true;
+      continue;
+    }
+
+    ParsedEvent ev;
+    ev.kind = *kind;
+    ev.raw = line;
+    ev.t = int_field(line, "t").value_or(-1);
+    ev.p = static_cast<Pid>(int_field(line, "p").value_or(-1));
+    if (const auto to = int_field(line, "to")) ev.peer = static_cast<Pid>(*to);
+    if (const auto from = int_field(line, "from")) {
+      ev.peer = static_cast<Pid>(*from);
+    }
+    ev.seq = int_field(line, "seq").value_or(-1);
+    ev.bytes = int_field(line, "bytes").value_or(-1);
+    ev.delay = int_field(line, "delay").value_or(-1);
+    ev.forced = line.find("\"forced\":true") != std::string::npos;
+    if (const auto v = int_field(line, "value")) ev.value = *v;
+    ev.state_hash =
+        static_cast<std::uint64_t>(int_field(line, "hash").value_or(0));
+    ev.fd = object_field(line, "fd").value_or("");
+    trace.events.push_back(std::move(ev));
+  }
+
+  if (!saw_meta) return std::nullopt;
+  return trace;
+}
+
+DivergenceReport find_divergence(const ParsedTrace& trace) {
+  DivergenceReport report;
+  // Earliest decide overall and earliest by a correct process, per value
+  // seen so far; a conflict is the first decide differing from any of them.
+  struct Seen {
+    Time t;
+    Pid p;
+    std::int64_t value;
+  };
+  std::vector<Seen> all, correct_only;
+
+  const auto conflict = [](const std::vector<Seen>& seen,
+                           const ParsedEvent& ev) -> const Seen* {
+    for (const Seen& s : seen) {
+      if (s.value != *ev.value) return &s;
+    }
+    return nullptr;
+  };
+  const auto fill = [](Divergence& d, const ParsedEvent& ev, const Seen& s) {
+    d.found = true;
+    d.t = ev.t;
+    d.p = ev.p;
+    d.value = *ev.value;
+    d.earlier_t = s.t;
+    d.earlier_p = s.p;
+    d.earlier_value = s.value;
+  };
+
+  for (const ParsedEvent& ev : trace.events) {
+    if (ev.kind != "decide" || !ev.value) continue;
+    if (!report.uniform.found) {
+      if (const Seen* s = conflict(all, ev)) fill(report.uniform, ev, *s);
+    }
+    if (!report.nonuniform.found && trace.is_correct(ev.p)) {
+      if (const Seen* s = conflict(correct_only, ev)) {
+        fill(report.nonuniform, ev, *s);
+      }
+    }
+    all.push_back({ev.t, ev.p, *ev.value});
+    if (trace.is_correct(ev.p)) correct_only.push_back({ev.t, ev.p, *ev.value});
+  }
+  return report;
+}
+
+}  // namespace nucon::trace

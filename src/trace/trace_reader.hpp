@@ -1,0 +1,79 @@
+// Parsing and analysis of recorded JSONL traces.
+//
+// The inverse of trace_recorder.hpp, plus the one analysis the debugging
+// workflow is built around: given the decide events of a run, find the
+// first step at which agreement diverged — separately for the uniform
+// flavor (any two deciders differ) and the nonuniform flavor (two
+// *correct* deciders differ), because the gap between those two is the
+// subject of the paper. tools/trace_dump renders what this header
+// computes.
+//
+// The parser handles exactly the schema the recorder emits (documented in
+// EXPERIMENTS.md); it is not a general JSON parser.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/failure_pattern.hpp"
+#include "util/process_set.hpp"
+
+namespace nucon::trace {
+
+struct ParsedEvent {
+  std::string kind;  // step, oracle, send, deliver, state, decide, verdict
+  Time t = -1;
+  Pid p = -1;
+  /// send: destination; deliver/step-recv: sender. -1 when absent.
+  Pid peer = -1;
+  std::int64_t seq = -1;
+  std::int64_t bytes = -1;
+  std::int64_t delay = -1;
+  bool forced = false;
+  std::optional<std::int64_t> value;  // decide
+  std::uint64_t state_hash = 0;       // state
+  std::string fd;                     // oracle: raw JSON fragment
+  std::string raw;                    // the whole line
+};
+
+struct ParsedTrace {
+  // Meta header.
+  std::string artifact;
+  std::string expect;
+  Pid n = 0;
+  ProcessSet correct;
+
+  std::vector<ParsedEvent> events;  // in recorded (= run) order
+
+  [[nodiscard]] bool is_correct(Pid p) const { return correct.contains(p); }
+};
+
+/// Parses a whole JSONL document. Returns nullopt if the meta line is
+/// missing or any line is structurally broken.
+[[nodiscard]] std::optional<ParsedTrace> parse_trace(const std::string& jsonl);
+
+/// One agreement-divergence finding: the decide event that first
+/// contradicted an earlier decide.
+struct Divergence {
+  bool found = false;
+  Time t = 0;
+  Pid p = -1;
+  std::int64_t value = 0;
+  // The earlier, contradicted decide.
+  Time earlier_t = 0;
+  Pid earlier_p = -1;
+  std::int64_t earlier_value = 0;
+};
+
+struct DivergenceReport {
+  /// First decide differing from any earlier decide.
+  Divergence uniform;
+  /// First decide by a correct process differing from an earlier decide by
+  /// a correct process.
+  Divergence nonuniform;
+};
+
+[[nodiscard]] DivergenceReport find_divergence(const ParsedTrace& trace);
+
+}  // namespace nucon::trace

@@ -196,6 +196,52 @@ TEST_P(OracleSweep, ComposedPairCombinesComponents) {
   EXPECT_TRUE(check_sigma_nu_plus(h, fp).ok);
 }
 
+TEST_P(OracleSweep, NoQuorumOracleEverEmitsAnEmptyQuorum) {
+  // Regression: the kNoise faulty branch once drew k from [0, n], and k=0
+  // produced an empty quorum that vacuously satisfied every
+  // "quorum ⊆ heard-from" wait. No mode of any quorum oracle may do that.
+  const FailurePattern fp = pattern();
+  for (const auto behavior :
+       {FaultyQuorumBehavior::kBenign, FaultyQuorumBehavior::kNoise,
+        FaultyQuorumBehavior::kAdversarialDisjoint}) {
+    SigmaNuOptions nu;
+    nu.stabilize_at = kStabilize;
+    nu.seed = GetParam().seed;
+    nu.faulty = behavior;
+    SigmaNuOracle nu_oracle(fp, nu);
+    for (const Sample& s : sample_all(fp, nu_oracle).samples()) {
+      EXPECT_FALSE(s.value.quorum().empty())
+          << "Sigma^nu mode " << static_cast<int>(behavior) << " at p=" << s.p
+          << " t=" << s.t;
+    }
+
+    SigmaNuPlusOptions plus;
+    plus.stabilize_at = kStabilize;
+    plus.seed = GetParam().seed;
+    plus.faulty = behavior;
+    SigmaNuPlusOracle plus_oracle(fp, plus);
+    for (const Sample& s : sample_all(fp, plus_oracle).samples()) {
+      EXPECT_FALSE(s.value.quorum().empty())
+          << "Sigma^nu+ mode " << static_cast<int>(behavior) << " at p=" << s.p
+          << " t=" << s.t;
+    }
+  }
+  for (const auto strategy : {SigmaStrategy::kKernel, SigmaStrategy::kMajority}) {
+    if (strategy == SigmaStrategy::kMajority &&
+        !is_majority(fp.correct(), fp.n())) {
+      continue;
+    }
+    SigmaOptions so;
+    so.stabilize_at = kStabilize;
+    so.seed = GetParam().seed;
+    so.strategy = strategy;
+    SigmaOracle oracle(fp, so);
+    for (const Sample& s : sample_all(fp, oracle).samples()) {
+      EXPECT_FALSE(s.value.quorum().empty()) << "Sigma at p=" << s.p;
+    }
+  }
+}
+
 TEST_P(OracleSweep, OracleIsAProperFunctionOfPAndT) {
   const FailurePattern fp = pattern();
   SigmaNuPlusOptions opts;

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <set>
 #include <sstream>
 
 namespace nucon::exp {
@@ -58,6 +60,7 @@ void expect_same_aggregate(const SweepAggregate& a, const SweepAggregate& b) {
   expect_same_accumulator(a.steps, b.steps);
   expect_same_accumulator(a.messages, b.messages);
   expect_same_accumulator(a.kbytes, b.kbytes);
+  EXPECT_EQ(a.metrics, b.metrics);
   EXPECT_EQ(a.failures, b.failures);
 }
 
@@ -147,6 +150,93 @@ TEST(SweepTest, FailedExpectationEmitsReplayArtifactThatReplaysIdentically) {
     // ...and serial re-execution reproduces the worker thread's run exactly.
     expect_same_stats(replay_failure(*parsed), r.jobs[i].stats);
   }
+}
+
+TEST(SweepTest, ArtifactRoundTripsBoundarySeedsForEveryAlgoAndMode) {
+  // Regression: parse() once pushed the seed through the generic signed
+  // std::stoll path, so any seed >= 2^63 threw and the artifact of such a
+  // run could never be replayed. Property-check the full string round-trip
+  // at the unsigned boundaries, across the whole algo/mode registry.
+  const std::uint64_t seeds[] = {0, std::uint64_t{1} << 63,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  const Algo algos[] = {Algo::kAnuc,  Algo::kStacked, Algo::kMrMajority,
+                        Algo::kMrSigma, Algo::kNaive, Algo::kCt,
+                        Algo::kBenOr, Algo::kFromScratch};
+  const FaultyQuorumBehavior modes[] = {
+      FaultyQuorumBehavior::kBenign, FaultyQuorumBehavior::kNoise,
+      FaultyQuorumBehavior::kAdversarialDisjoint};
+  for (const std::uint64_t seed : seeds) {
+    for (const Algo algo : algos) {
+      for (const FaultyQuorumBehavior mode : modes) {
+        ReplayArtifact artifact;
+        artifact.point.algo = algo;
+        artifact.point.faulty_mode = mode;
+        artifact.point.seed = seed;
+        const std::string line = artifact.to_string();
+        const auto parsed = ReplayArtifact::parse(line);
+        ASSERT_TRUE(parsed.has_value()) << line;
+        EXPECT_EQ(*parsed, artifact) << line;
+        EXPECT_EQ(parsed->point.seed, seed) << line;
+      }
+    }
+  }
+}
+
+TEST(SweepTest, ArtifactParseRejectsNegativeSeed) {
+  EXPECT_FALSE(
+      ReplayArtifact::parse("algo=anuc n=5 faults=2 stab=120 crash=0 "
+                            "mode=adversarial steps=200000 seed=-1")
+          .has_value());
+}
+
+TEST(SweepTest, CrashWindowIsNonDegenerateForSmallStabilization) {
+  // Regression: crash times were drawn from rng.range(10, stabilize - 10),
+  // which for stabilize <= 21 collapsed to an (effectively) constant window
+  // and pinned every "random" crash to the same instant. The window must
+  // stay open and actually spread crashes for small stabilization values.
+  for (const Time stabilize : {Time{12}, Time{20}, Time{21}, Time{40}}) {
+    std::set<Time> crash_times;
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+      SweepPoint pt;
+      pt.n = 5;
+      pt.faults = 2;
+      pt.stabilize = stabilize;
+      pt.crash_at = 0;  // spread randomly
+      pt.seed = seed;
+      const FailurePattern fp = failure_pattern_of(pt);
+      ASSERT_EQ(fp.faulty().size(), 2);
+      for (const Pid p : fp.faulty()) {
+        const Time at = fp.crash_time(p);
+        EXPECT_GE(at, 10);
+        crash_times.insert(at);
+      }
+    }
+    EXPECT_GT(crash_times.size(), 1u)
+        << "all crashes pinned to one instant at stabilize=" << stabilize;
+  }
+}
+
+TEST(SweepTest, BenOrDecideRoundReachesTheAggregate) {
+  // Regression: the harness never read Ben-Or's decided round, so every
+  // Ben-Or sweep reported decide_round == 0 and the aggregate's
+  // decide_rounds accumulator stayed empty.
+  SweepGrid grid;
+  grid.algos = {Algo::kBenOr};
+  grid.ns = {4};
+  grid.fault_counts = {1};
+  grid.stabilizes = {80};
+  grid.seed_begin = 1;
+  grid.seed_count = 4;
+  grid.max_steps = 120'000;
+  const SweepResult r = SweepRunner(2).run(grid);
+  ASSERT_EQ(r.aggregate.runs, 4);
+  for (const JobOutcome& job : r.jobs) {
+    if (job.stats.all_correct_decided) {
+      EXPECT_GT(job.stats.decide_round, 0)
+          << ReplayArtifact{job.point}.to_string();
+    }
+  }
+  EXPECT_GT(r.aggregate.decide_rounds.count(), 0);
 }
 
 TEST(SweepTest, ArtifactParseRejectsGarbage) {

@@ -5,7 +5,8 @@
 //
 //   nucon_explore --algo anuc --n 5 --faults 2 --seed 7
 //   nucon_explore --algo naive --faulty-mode adversarial --seeds 50 --threads 4
-//   nucon_explore --algo from-scratch --n 7 --trace 40
+//   nucon_explore --algo from-scratch --n 7 --print-steps 40
+//   nucon_explore --algo naive --seed 11 --trace run.trace.jsonl
 //   nucon_explore --replay 'algo=anuc n=5 faults=2 stab=120 crash=0 mode=adversarial steps=200000 seed=7'
 //
 // Flags:
@@ -20,7 +21,10 @@
 //   --crash-at T     pin all crashes at time T (0 = spread randomly)
 //   --max-steps M    step budget per run                (default 200000)
 //   --faulty-mode X  benign | noise | adversarial       (default adversarial)
-//   --trace N        print the first/last N steps of the run
+//   --print-steps N  print the first/last N steps of the run
+//   --trace FILE     write a structured JSONL trace of the run to FILE
+//                    (multi-seed runs write FILE.seed<k>); inspect with
+//                    tools/trace_dump
 //   --replay 'A'     serially re-execute one replay artifact and exit
 #include <cstdio>
 #include <cstdlib>
@@ -45,7 +49,8 @@ struct Cli {
   Time crash_at = 0;
   std::int64_t max_steps = 200'000;
   std::string faulty_mode = "adversarial";
-  std::size_t trace = 0;
+  std::size_t print_steps = 0;
+  std::string trace_file;
   std::string replay;
 };
 
@@ -63,7 +68,8 @@ int usage(const char* argv0) {
                "  [--n N] [--faults F] [--seed S] [--seeds K] [--threads T] "
                "[--stabilize T] [--crash-at T]\n"
                "  [--max-steps M] [--faulty-mode benign|noise|adversarial] "
-               "[--trace N] [--replay 'ARTIFACT']\n",
+               "[--print-steps N] [--trace FILE]\n"
+               "  [--replay 'ARTIFACT']\n",
                argv0);
   return 2;
 }
@@ -77,7 +83,7 @@ const char* expect_text(exp::Algo algo) {
 }
 
 void print_point(const exp::SweepPoint& pt, const ConsensusRunStats& stats,
-                 std::size_t trace_steps) {
+                 std::size_t print_steps) {
   const FailurePattern fp = exp::failure_pattern_of(pt);
   const std::vector<Value> proposals = exp::proposals_of(pt);
 
@@ -99,14 +105,29 @@ void print_point(const exp::SweepPoint& pt, const ConsensusRunStats& stats,
       verdict.validity, verdict.nonuniform_agreement, verdict.uniform_agreement,
       verdict.detail.empty() ? "" : " | ", verdict.detail.c_str());
 
-  if (trace_steps > 0) {
+  if (print_steps > 0) {
     // Deterministic re-execution for the recorded run: the sweep summary
     // discards it, and any point replays bit-for-bit anyway.
     const SimResult sim = exp::simulate_point(pt);
     TraceOptions to;
-    to.max_steps = trace_steps;
+    to.max_steps = print_steps;
     std::printf("%s", render_trace(sim.run, to).c_str());
   }
+}
+
+/// Re-executes `pt` with a TraceRecorder attached (bit-identical to the
+/// sweep run by construction) and writes the JSONL document to `path`.
+bool write_trace(const exp::SweepPoint& pt, const std::string& path) {
+  const exp::TracedRun traced = exp::trace_point(pt);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "cannot write trace file: %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(traced.jsonl.data(), 1, traced.jsonl.size(), f);
+  std::fclose(f);
+  std::printf("  trace written: %s (inspect with trace_dump)\n", path.c_str());
+  return true;
 }
 
 }  // namespace
@@ -139,8 +160,10 @@ int main(int argc, char** argv) {
       cli.max_steps = std::atoll(value);
     } else if (flag == "--faulty-mode" && (value = next())) {
       cli.faulty_mode = value;
+    } else if (flag == "--print-steps" && (value = next())) {
+      cli.print_steps = static_cast<std::size_t>(std::atoll(value));
     } else if (flag == "--trace" && (value = next())) {
-      cli.trace = static_cast<std::size_t>(std::atoll(value));
+      cli.trace_file = value;
     } else if (flag == "--replay" && (value = next())) {
       cli.replay = value;
     } else {
@@ -156,7 +179,12 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
     std::printf("replaying serially: %s\n", artifact->to_string().c_str());
-    print_point(artifact->point, exp::replay_failure(*artifact), cli.trace);
+    print_point(artifact->point, exp::replay_failure(*artifact),
+                cli.print_steps);
+    if (!cli.trace_file.empty() &&
+        !write_trace(artifact->point, cli.trace_file)) {
+      return 1;
+    }
     return 0;
   }
 
@@ -185,8 +213,16 @@ int main(int argc, char** argv) {
   const exp::SweepResult sweep =
       exp::SweepRunner(static_cast<unsigned>(cli.threads)).run(points);
 
-  for (const exp::JobOutcome& job : sweep.jobs) {
-    print_point(job.point, job.stats, cli.trace);
+  for (std::size_t k = 0; k < sweep.jobs.size(); ++k) {
+    const exp::JobOutcome& job = sweep.jobs[k];
+    print_point(job.point, job.stats, cli.print_steps);
+    if (!cli.trace_file.empty()) {
+      // One file per seed; a single-seed run gets the name verbatim.
+      const std::string path =
+          sweep.jobs.size() == 1 ? cli.trace_file
+                                 : cli.trace_file + ".seed" + std::to_string(k);
+      if (!write_trace(job.point, path)) return 1;
+    }
   }
 
   if (cli.seeds > 1) {

@@ -1,0 +1,205 @@
+// trace_dump: pretty-print a JSONL run trace produced by the trace layer
+// (nucon_explore --trace, or the sweep engine's failure auto-attach).
+//
+//   trace_dump failure-0.trace.jsonl
+//   trace_dump --full --process 3 failure-0.trace.jsonl
+//
+// Renders the run as a per-process timeline summary and flags the first
+// step at which agreement diverged — separately for the uniform flavor
+// (any two deciders differ) and the nonuniform flavor (two correct
+// deciders differ), the distinction the paper is about.
+//
+// Flags:
+//   --full          dump every event chronologically after the summary
+//   --process P     restrict --full to events of process P
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_reader.hpp"
+
+using namespace nucon;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--full] [--process P] <trace.jsonl>\n",
+               argv0);
+  return 2;
+}
+
+struct ProcessSummary {
+  std::int64_t steps = 0;
+  std::int64_t lambda_steps = 0;
+  std::int64_t delivers = 0;
+  std::int64_t forced = 0;
+  std::int64_t sends = 0;
+  std::int64_t state_changes = 0;
+  Time first_t = -1;
+  Time last_t = -1;
+  bool decided = false;
+  Time decide_t = 0;
+  std::int64_t decide_value = 0;
+};
+
+std::string render_event(const trace::ParsedEvent& ev) {
+  std::ostringstream os;
+  os << "t=" << ev.t << "  p" << ev.p << "  ";
+  if (ev.kind == "step") {
+    if (ev.peer >= 0) {
+      os << "step recv(" << ev.peer << "#" << ev.seq << ")";
+    } else {
+      os << "step recv(lambda)";
+    }
+  } else if (ev.kind == "oracle") {
+    os << "oracle " << ev.fd;
+  } else if (ev.kind == "send") {
+    os << "send -> p" << ev.peer << " #" << ev.seq << " (" << ev.bytes
+       << " bytes)";
+  } else if (ev.kind == "deliver") {
+    os << "deliver <- p" << ev.peer << " #" << ev.seq << " (delay " << ev.delay
+       << (ev.forced ? ", forced)" : ")");
+  } else if (ev.kind == "state") {
+    os << "state hash=" << ev.state_hash;
+  } else if (ev.kind == "decide") {
+    os << "DECIDE " << (ev.value ? *ev.value : 0);
+  } else {
+    os << ev.kind << " " << ev.raw;
+  }
+  return os.str();
+}
+
+void print_divergence(const char* label, const trace::Divergence& d) {
+  if (!d.found) {
+    std::printf("first %s-agreement divergence: none\n", label);
+    return;
+  }
+  std::printf(
+      "first %s-agreement divergence: t=%lld p%d decided %lld, contradicting "
+      "p%d's decision %lld at t=%lld\n",
+      label, static_cast<long long>(d.t), d.p,
+      static_cast<long long>(d.value), d.earlier_p,
+      static_cast<long long>(d.earlier_value),
+      static_cast<long long>(d.earlier_t));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = false;
+  Pid only_process = -1;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else if (std::strcmp(argv[i], "--process") == 0 && i + 1 < argc) {
+      only_process = static_cast<Pid>(std::atoi(argv[++i]));
+    } else if (argv[i][0] != '-' && path.empty()) {
+      path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+
+  const auto trace = trace::parse_trace(buf.str());
+  if (!trace) {
+    std::fprintf(stderr, "unparseable trace (missing meta line?): %s\n",
+                 path.c_str());
+    return 1;
+  }
+
+  std::printf("trace: %s\n", path.c_str());
+  if (!trace->artifact.empty()) {
+    std::printf("artifact: %s\n", trace->artifact.c_str());
+  }
+  std::printf("n=%d correct=%s expect=%s, %zu events\n", trace->n,
+              trace->correct.to_string().c_str(),
+              trace->expect.empty() ? "?" : trace->expect.c_str(),
+              trace->events.size());
+
+  // Per-process timeline summary.
+  std::vector<ProcessSummary> procs(static_cast<std::size_t>(
+      trace->n > 0 ? trace->n : 0));
+  for (const trace::ParsedEvent& ev : trace->events) {
+    if (ev.p < 0 || ev.p >= trace->n) continue;
+    ProcessSummary& s = procs[static_cast<std::size_t>(ev.p)];
+    if (s.first_t < 0 && ev.t >= 0) s.first_t = ev.t;
+    if (ev.t > s.last_t) s.last_t = ev.t;
+    if (ev.kind == "step") {
+      ++s.steps;
+      if (ev.peer < 0) ++s.lambda_steps;
+    } else if (ev.kind == "deliver") {
+      ++s.delivers;
+      s.forced += ev.forced;
+    } else if (ev.kind == "send") {
+      ++s.sends;
+    } else if (ev.kind == "state") {
+      ++s.state_changes;
+    } else if (ev.kind == "decide" && ev.value) {
+      s.decided = true;
+      s.decide_t = ev.t;
+      s.decide_value = *ev.value;
+    }
+  }
+  std::printf("\nper-process timeline:\n");
+  for (Pid p = 0; p < trace->n; ++p) {
+    const ProcessSummary& s = procs[static_cast<std::size_t>(p)];
+    std::printf(
+        "  p%d (%s)  steps=%lld (lambda %lld)  recv=%lld (forced %lld)  "
+        "send=%lld  active t=[%lld, %lld]",
+        p, trace->is_correct(p) ? "correct" : "faulty ",
+        static_cast<long long>(s.steps),
+        static_cast<long long>(s.lambda_steps),
+        static_cast<long long>(s.delivers), static_cast<long long>(s.forced),
+        static_cast<long long>(s.sends), static_cast<long long>(s.first_t),
+        static_cast<long long>(s.last_t));
+    if (s.state_changes > 0) {
+      std::printf("  state-changes=%lld",
+                  static_cast<long long>(s.state_changes));
+    }
+    if (s.decided) {
+      std::printf("  -> decided %lld at t=%lld",
+                  static_cast<long long>(s.decide_value),
+                  static_cast<long long>(s.decide_t));
+    } else {
+      std::printf("  -> undecided");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n");
+  const trace::DivergenceReport report = trace::find_divergence(*trace);
+  print_divergence("uniform", report.uniform);
+  print_divergence("nonuniform", report.nonuniform);
+  if (report.nonuniform.found) {
+    std::printf(
+        "NOTE: two correct processes decided differently — this run violates "
+        "even nonuniform agreement.\n");
+  } else if (report.uniform.found) {
+    std::printf(
+        "NOTE: only uniform agreement diverged (a faulty decider is "
+        "involved); nonuniform consensus permits this.\n");
+  }
+
+  if (full) {
+    std::printf("\nevents:\n");
+    for (const trace::ParsedEvent& ev : trace->events) {
+      if (only_process >= 0 && ev.p != only_process) continue;
+      std::printf("  %s\n", render_event(ev).c_str());
+    }
+  }
+  return 0;
+}
