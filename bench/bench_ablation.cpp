@@ -104,4 +104,4 @@ BENCHMARK(BM_AnucVariant)
 }  // namespace
 }  // namespace nucon::bench
 
-NUCON_BENCH_MAIN(nucon::bench::experiments)
+NUCON_BENCH_MAIN(nucon::bench::experiments, "E11")

@@ -178,4 +178,4 @@ BENCHMARK(BM_ConsensusRound)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace nucon::bench
 
-NUCON_BENCH_MAIN(nucon::bench::experiments)
+NUCON_BENCH_MAIN(nucon::bench::experiments, "E9")

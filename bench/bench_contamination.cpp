@@ -52,13 +52,20 @@ void experiments() {
 
   exp::SweepRunner runner(threads);
   runner.set_trace_dir("bench-traces/e6");
+  const exp::SweepResult naive_sweep =
+      runner.run(family_grid(exp::Algo::kNaive, seeds));
   add("naive MR-quorum", "(Omega,Sigma^nu) adversarial",
-      runner.run(family_grid(exp::Algo::kNaive, seeds)).aggregate);
+      naive_sweep.aggregate);
+  record_sweep("E6d:naive", "§6.3 family, naive, 150 seeds", naive_sweep);
   const exp::SweepResult anuc_sweep =
       runner.run(family_grid(exp::Algo::kAnuc, seeds));
   add("A_nuc", "(Omega,Sigma^nu+) adversarial", anuc_sweep.aggregate);
-  add("MR-quorum", "(Omega,Sigma) control",
-      runner.run(family_grid(exp::Algo::kMrSigma, seeds)).aggregate);
+  record_sweep("E6d:anuc", "§6.3 family, anuc, 150 seeds", anuc_sweep);
+  const exp::SweepResult control_sweep =
+      runner.run(family_grid(exp::Algo::kMrSigma, seeds));
+  add("MR-quorum", "(Omega,Sigma) control", control_sweep.aggregate);
+  record_sweep("E6d:mr-sigma", "§6.3 family, mr-sigma control, 150 seeds",
+               control_sweep);
   print_section("E6: contamination (§6.3) — violation rates over seeds", t);
 
   // Any A_nuc nonuniform violation would be a library bug; the engine hands
@@ -96,4 +103,4 @@ BENCHMARK(BM_NaiveContaminationSearch)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace nucon::bench
 
-NUCON_BENCH_MAIN(nucon::bench::experiments)
+NUCON_BENCH_MAIN(nucon::bench::experiments, "E6")

@@ -156,4 +156,4 @@ BENCHMARK(BM_FairChain)->Arg(500)->Arg(2000);
 }  // namespace
 }  // namespace nucon::bench
 
-NUCON_BENCH_MAIN(nucon::bench::experiments)
+NUCON_BENCH_MAIN(nucon::bench::experiments, "E1")

@@ -139,4 +139,4 @@ BENCHMARK(BM_SimulateChain)->Arg(2)->Arg(3)->Arg(4);
 }  // namespace
 }  // namespace nucon::bench
 
-NUCON_BENCH_MAIN(nucon::bench::experiments)
+NUCON_BENCH_MAIN(nucon::bench::experiments, "E2")

@@ -150,4 +150,4 @@ BENCHMARK(BM_BoostStep)->Arg(100)->Arg(1000)->Arg(4000);
 }  // namespace
 }  // namespace nucon::bench
 
-NUCON_BENCH_MAIN(nucon::bench::experiments)
+NUCON_BENCH_MAIN(nucon::bench::experiments, "E4")

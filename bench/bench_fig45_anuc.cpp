@@ -153,6 +153,8 @@ void experiments() {
                                   std::max(parallel.wall_seconds, 1e-9),
                               2)});
     print_section("E5d: A_nuc sufficiency sweep on the parallel engine", t);
+    record_sweep("E5d", "anuc, n in {3,5,7,9}, faults in {0,1,2}, 20 seeds",
+                 serial);
     std::printf(
         "E5d metrics: steps=%lld delivers=%lld (forced %lld) "
         "delay[p50=%lld p99=%lld max=%lld]\n",
@@ -213,4 +215,4 @@ BENCHMARK(BM_DistrustEvaluation);
 }  // namespace
 }  // namespace nucon::bench
 
-NUCON_BENCH_MAIN(nucon::bench::experiments)
+NUCON_BENCH_MAIN(nucon::bench::experiments, "E5")

@@ -202,4 +202,4 @@ BENCHMARK(BM_Replay);
 }  // namespace
 }  // namespace nucon::bench
 
-NUCON_BENCH_MAIN(nucon::bench::experiments)
+NUCON_BENCH_MAIN(nucon::bench::experiments, "E10")

@@ -151,4 +151,4 @@ BENCHMARK(BM_SmrCommandThroughput)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond
 }  // namespace
 }  // namespace nucon::bench
 
-NUCON_BENCH_MAIN(nucon::bench::experiments)
+NUCON_BENCH_MAIN(nucon::bench::experiments, "E15")

@@ -112,6 +112,7 @@ void experiments() {
         "E7b: consensus with no oracle at all (Omega election + Sigma from "
         "scratch + MR), 10-seed sweeps",
         t);
+    record_sweep("E7b", "from-scratch stack, n in {3,5,7}, 10 seeds", sweep);
     for (std::size_t i = 0; i < sweep.aggregate.failures.size(); ++i) {
       std::printf("UNEXPECTED failure — replay with: nucon_explore --replay "
                   "'%s'\n",
@@ -185,4 +186,4 @@ BENCHMARK(BM_PartitionArgument)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace nucon::bench
 
-NUCON_BENCH_MAIN(nucon::bench::experiments)
+NUCON_BENCH_MAIN(nucon::bench::experiments, "E7")

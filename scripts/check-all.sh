@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# check-all: the full verification matrix in one command.
+#
+# Chains the three CMake workflow presets — a workflow preset can only
+# carry one configure step, so the matrix lives here:
+#
+#   check-default   configure + build + the whole ctest suite (RelWithDebInfo)
+#   check-asan      configure + build + sweep/obs-labeled ctest under ASan/UBSan
+#   check-tsan      configure + build + sweep/obs-labeled ctest under TSan
+#
+# Usage: scripts/check-all.sh   (from the repo root)
+set -e
+cd "$(dirname "$0")/.."
+for wf in check-default check-asan check-tsan; do
+  echo "==> cmake --workflow --preset $wf"
+  cmake --workflow --preset "$wf"
+done
+echo "==> check-all: all workflows passed"

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -17,6 +18,7 @@
 #include "core/from_scratch.hpp"
 #include "core/stacked_nuc.hpp"
 #include "exp/thread_pool.hpp"
+#include "obs/report.hpp"
 #include "fd/classic.hpp"
 #include "fd/composed.hpp"
 #include "fd/omega.hpp"
@@ -183,6 +185,46 @@ struct PointSetup {
     opts.max_steps = pt.max_steps;
   }
 };
+
+/// The cell a point belongs to: everything but the seed. Points of one
+/// cell fold into one report section.
+std::string cell_spec_of(const SweepPoint& pt) {
+  std::ostringstream os;
+  os << "algo=" << algo_name(pt.algo) << " n=" << pt.n
+     << " faults=" << pt.faults << " stab=" << pt.stabilize
+     << " crash=" << pt.crash_at << " mode=" << mode_name(pt.faulty_mode)
+     << " steps=" << pt.max_steps;
+  return os.str();
+}
+
+/// Builds and writes the runner-level report: per-cell sections in
+/// first-appearance (= expansion) order, then a "total" section carrying
+/// the failure artifacts and attached trace paths.
+void write_runner_report(const SweepResult& result, const std::string& path) {
+  obs::BenchReport report;
+  report.name = "sweep";
+
+  std::vector<std::string> cell_order;
+  std::map<std::string, std::vector<std::size_t>> cells;
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    const std::string spec = cell_spec_of(result.jobs[i].point);
+    auto [it, inserted] = cells.try_emplace(spec);
+    if (inserted) cell_order.push_back(spec);
+    it->second.push_back(i);
+  }
+  for (std::size_t k = 0; k < cell_order.size(); ++k) {
+    const std::string& spec = cell_order[k];
+    report.sweeps.push_back(obs::section_of_jobs(
+        "cell-" + std::to_string(k), spec, result.jobs, cells[spec]));
+  }
+  report.sweeps.push_back(obs::section_of(
+      "total", std::to_string(result.jobs.size()) + " points", result));
+  report.timings["execute"] = result.wall_seconds;
+  report.timings["fold"] = result.fold_seconds;
+  if (!obs::write_report_json(report, path)) {
+    std::fprintf(stderr, "sweep: cannot write report to %s\n", path.c_str());
+  }
+}
 
 bool meets_expectation(const SweepPoint& pt, const ConsensusRunStats& stats) {
   switch (expectation(pt.algo)) {
@@ -412,6 +454,7 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& points) const {
           .count();
 
   // Serial fold in expansion order: bit-identical for any thread count.
+  const auto fold_started = std::chrono::steady_clock::now();
   SweepAggregate& agg = result.aggregate;
   for (const JobOutcome& job : result.jobs) {
     ++agg.runs;
@@ -442,6 +485,10 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& points) const {
     agg.kbytes.add(static_cast<double>(job.stats.bytes_sent) / 1024.0);
     agg.metrics.merge(job.stats.metrics);
   }
+  result.fold_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - fold_started)
+                            .count();
+  if (!report_path_.empty()) write_runner_report(result, report_path_);
   return result;
 }
 

@@ -140,6 +140,9 @@ struct SweepResult {
   /// Wall-clock of the parallel execution phase (not deterministic; never
   /// part of the aggregate).
   double wall_seconds = 0.0;
+  /// Wall-clock of the serial fold phase, including failure-trace
+  /// attachment (not deterministic either).
+  double fold_seconds = 0.0;
 };
 
 class SweepRunner {
@@ -154,12 +157,23 @@ class SweepRunner {
   /// artifacts. Empty (the default) disables attachment.
   void set_trace_dir(std::string dir) { trace_dir_ = std::move(dir); }
 
+  /// After every run(), write a versioned JSON report to `path`: one
+  /// section per grid cell (all seeds of one algo/n/faults/stab/mode
+  /// combination) with verdict counts and folded metrics, a "total"
+  /// section with the failure artifacts and attached trace paths, and
+  /// wall-clock per phase (execute/fold). The report body is a pure
+  /// function of the fold, so it is bit-identical for any thread count
+  /// (timing fields aside); obs/report.hpp defines the schema. Empty (the
+  /// default) disables report writing.
+  void set_report_path(std::string path) { report_path_ = std::move(path); }
+
   [[nodiscard]] SweepResult run(const std::vector<SweepPoint>& points) const;
   [[nodiscard]] SweepResult run(const SweepGrid& grid) const;
 
  private:
   unsigned threads_;
   std::string trace_dir_;
+  std::string report_path_;
 };
 
 /// The failure pattern a point deterministically denotes.

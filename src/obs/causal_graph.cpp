@@ -1,0 +1,120 @@
+#include "obs/causal_graph.hpp"
+
+#include <map>
+#include <utility>
+
+namespace nucon::obs {
+
+CausalGraph::CausalGraph(const trace::ParsedTrace& trace) : trace_(&trace) {
+  const auto& events = trace.events;
+  nodes_.resize(events.size());
+
+  // Last event seen per process (program-order chains), and the send event
+  // of every in-flight message id. (sender, seq) is globally unique — seq
+  // is a per-sender counter across all destinations — so one map suffices.
+  std::map<Pid, EventIndex> last_of;
+  std::map<std::pair<Pid, std::int64_t>, EventIndex> send_of;
+
+  for (EventIndex i = 0; i < events.size(); ++i) {
+    const trace::ParsedEvent& ev = events[i];
+    if (ev.p >= 0) {
+      const auto it = last_of.find(ev.p);
+      if (it != last_of.end()) {
+        nodes_[i].program_pred = it->second;
+        nodes_[it->second].program_succ = i;
+      }
+      last_of[ev.p] = i;
+    }
+    if (ev.kind == "send" && ev.seq >= 0) {
+      send_of[{ev.p, ev.seq}] = i;
+    } else if (ev.kind == "deliver" && ev.seq >= 0) {
+      // ev.peer is the sender for deliver events.
+      const auto it = send_of.find({ev.peer, ev.seq});
+      if (it != send_of.end()) {
+        nodes_[i].message_pred = it->second;
+        nodes_[it->second].message_succ = i;
+      }
+    } else if (ev.kind == "decide") {
+      decides_.push_back(i);
+    }
+  }
+}
+
+std::vector<bool> CausalGraph::cone_bitmap(EventIndex e) const {
+  std::vector<bool> in_cone(nodes_.size(), false);
+  if (e >= nodes_.size()) return in_cone;
+  // DFS over the two predecessor edges. Recorded order refines causal
+  // order, so every predecessor has a smaller index and termination is by
+  // strictly decreasing frontier.
+  std::vector<EventIndex> stack{e};
+  in_cone[e] = true;
+  while (!stack.empty()) {
+    const EventIndex cur = stack.back();
+    stack.pop_back();
+    for (const EventIndex pred :
+         {nodes_[cur].program_pred, nodes_[cur].message_pred}) {
+      if (pred != kNoEvent && !in_cone[pred]) {
+        in_cone[pred] = true;
+        stack.push_back(pred);
+      }
+    }
+  }
+  return in_cone;
+}
+
+std::vector<EventIndex> CausalGraph::causal_cone(EventIndex e) const {
+  const std::vector<bool> in_cone = cone_bitmap(e);
+  std::vector<EventIndex> out;
+  for (EventIndex i = 0; i < in_cone.size(); ++i) {
+    if (in_cone[i]) out.push_back(i);
+  }
+  return out;
+}
+
+bool CausalGraph::influences(EventIndex a, EventIndex b) const {
+  if (a >= nodes_.size() || b >= nodes_.size() || a > b) return false;
+  return cone_bitmap(b)[a];
+}
+
+std::vector<EventIndex> CausalGraph::causal_future(EventIndex e) const {
+  std::vector<EventIndex> out;
+  if (e >= nodes_.size()) return out;
+  std::vector<bool> reached(nodes_.size(), false);
+  std::vector<EventIndex> stack{e};
+  reached[e] = true;
+  while (!stack.empty()) {
+    const EventIndex cur = stack.back();
+    stack.pop_back();
+    for (const EventIndex succ :
+         {nodes_[cur].program_succ, nodes_[cur].message_succ}) {
+      if (succ != kNoEvent && !reached[succ]) {
+        reached[succ] = true;
+        stack.push_back(succ);
+      }
+    }
+  }
+  for (EventIndex i = e; i < reached.size(); ++i) {
+    if (reached[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::optional<EventIndex> CausalGraph::first_decide_of(Pid p) const {
+  for (const EventIndex e : decides_) {
+    if (trace_->events[e].p == p) return e;
+  }
+  return std::nullopt;
+}
+
+std::vector<EventIndex> CausalGraph::undelivered_sends() const {
+  std::vector<EventIndex> out;
+  for (EventIndex i = 0; i < nodes_.size(); ++i) {
+    if (trace_->events[i].kind == "send" &&
+        nodes_[i].message_succ == kNoEvent) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace nucon::obs

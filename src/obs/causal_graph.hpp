@@ -1,0 +1,94 @@
+// Happens-before reconstruction over a parsed run trace.
+//
+// The trace layer records a flat per-process timeline; this header turns
+// it into the causal structure the paper's arguments are actually about.
+// Nodes are the events of a ParsedTrace (by index); edges are
+//
+//   - program order: each event has the previous event of the same
+//     process as predecessor (one chain per process, in recorded order);
+//   - message order: every `deliver` is preceded by its matched `send`,
+//     paired by the globally unique (sender, seq) message id.
+//
+// Oracle samples need no edge of their own: the recorder emits them
+// inside the step they were sampled at, so program order already attaches
+// them to that step.
+//
+// `causal_cone(e)` is then the set of events that could have influenced
+// `e` — Lamport's happens-before closed under both edge kinds — which is
+// what decision provenance (obs/provenance.hpp) walks. One recording
+// caveat, documented here because cone users depend on it: within one
+// scheduler step the recorder emits `step`, `oracle`, `deliver`, the
+// `send`s, then `decide`, all at the same sim time. The message edge
+// lands on the `deliver` event, so the step's *outputs* (sends, decide)
+// are causally after the delivered message's history, while the `step`
+// header event itself is not. Influence queries should therefore anchor
+// on output events (sends, decides), never on the `step` record.
+//
+// Everything here is a pure function of trace bytes: same trace, same
+// graph, same cones — golden-testable like the traces themselves.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "trace/trace_reader.hpp"
+
+namespace nucon::obs {
+
+using EventIndex = std::size_t;
+inline constexpr EventIndex kNoEvent = static_cast<EventIndex>(-1);
+
+class CausalGraph {
+ public:
+  /// One node per trace event; kNoEvent marks an absent edge.
+  struct Node {
+    EventIndex program_pred = kNoEvent;  // previous event of the same process
+    EventIndex program_succ = kNoEvent;  // next event of the same process
+    EventIndex message_pred = kNoEvent;  // deliver only: the matched send
+    EventIndex message_succ = kNoEvent;  // send only: the matched deliver
+  };
+
+  /// Builds the graph for `trace`, which must outlive the graph (the
+  /// graph stores only indices plus a pointer for event lookups).
+  explicit CausalGraph(const trace::ParsedTrace& trace);
+
+  [[nodiscard]] const trace::ParsedTrace& trace() const { return *trace_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const Node& node(EventIndex e) const { return nodes_[e]; }
+
+  /// All events that could have influenced `e` (its happens-before
+  /// ancestors, including `e` itself), ascending by event index. Recorded
+  /// order refines causal order — an effect is always recorded after its
+  /// causes — so ascending index order is a valid topological order.
+  [[nodiscard]] std::vector<EventIndex> causal_cone(EventIndex e) const;
+
+  /// True iff `a` happens-before (or is) `b`: a ∈ cone(b).
+  [[nodiscard]] bool influences(EventIndex a, EventIndex b) const;
+
+  /// All events causally after `e` (its happens-before descendants,
+  /// including `e`), ascending. The dual of causal_cone.
+  [[nodiscard]] std::vector<EventIndex> causal_future(EventIndex e) const;
+
+  /// Index of the first `decide` event of process p, if it decided.
+  [[nodiscard]] std::optional<EventIndex> first_decide_of(Pid p) const;
+
+  /// Indices of every `decide` event, in recorded order.
+  [[nodiscard]] const std::vector<EventIndex>& decides() const {
+    return decides_;
+  }
+
+  /// Sends that were never delivered (crashed receiver, or still in
+  /// flight at the end of the recorded prefix), in recorded order.
+  [[nodiscard]] std::vector<EventIndex> undelivered_sends() const;
+
+ private:
+  /// Reverse-reachability bitmap behind causal_cone / influences.
+  [[nodiscard]] std::vector<bool> cone_bitmap(EventIndex e) const;
+
+  const trace::ParsedTrace* trace_;
+  std::vector<Node> nodes_;
+  std::vector<EventIndex> decides_;
+};
+
+}  // namespace nucon::obs

@@ -1,0 +1,197 @@
+#include "obs/provenance.hpp"
+
+#include <sstream>
+
+namespace nucon::obs {
+namespace {
+
+/// The contamination walk: given the explained decide and its cone, find
+/// the first faulty decision in the cone (preferring one whose value the
+/// decider adopted) and the first message edge through which that
+/// decision reached a correct process.
+ContaminationEdge find_contamination(const CausalGraph& g,
+                                     const Provenance& p,
+                                     const std::vector<EventIndex>& cone) {
+  ContaminationEdge edge;
+  const trace::ParsedTrace& trace = g.trace();
+
+  // Candidate faulty decides in the cone, value-matching ones first: the
+  // §6.3 chain is "decider adopted the faulty value", so equality names
+  // the actual source; the fallback still explains cones that merely
+  // *contain* a faulty decision.
+  EventIndex faulty_decide = kNoEvent;
+  for (const bool require_value_match : {true, false}) {
+    for (const EventIndex e : cone) {
+      const trace::ParsedEvent& ev = trace.events[e];
+      if (ev.kind != "decide" || trace.is_correct(ev.p)) continue;
+      if (require_value_match && (!ev.value || *ev.value != p.value)) continue;
+      faulty_decide = e;
+      break;
+    }
+    if (faulty_decide != kNoEvent) break;
+  }
+  if (faulty_decide == kNoEvent) return edge;
+
+  const trace::ParsedEvent& fd_ev = trace.events[faulty_decide];
+  edge.found = true;
+  edge.faulty_decider = fd_ev.p;
+  edge.faulty_decide_t = fd_ev.t;
+  edge.faulty_value = fd_ev.value.value_or(0);
+  edge.faulty_decide_event = faulty_decide;
+
+  // First deliver (recorded order) whose matched send is causally after
+  // the faulty decision and whose receiver is correct: the edge through
+  // which the value first entered a correct process's state.
+  const std::vector<EventIndex> future = g.causal_future(faulty_decide);
+  std::vector<bool> in_future(g.size(), false);
+  for (const EventIndex e : future) in_future[e] = true;
+
+  for (EventIndex e = faulty_decide + 1; e < g.size(); ++e) {
+    const trace::ParsedEvent& ev = trace.events[e];
+    if (ev.kind != "deliver" || !trace.is_correct(ev.p)) continue;
+    const EventIndex send = g.node(e).message_pred;
+    if (send == kNoEvent || !in_future[send]) continue;
+    const trace::ParsedEvent& send_ev = trace.events[send];
+    edge.send_event = send;
+    edge.deliver_event = e;
+    edge.from = send_ev.p;
+    edge.to = ev.p;
+    edge.seq = ev.seq;
+    edge.send_t = send_ev.t;
+    edge.deliver_t = ev.t;
+    edge.reaches_decider = g.influences(e, p.decide_event);
+    break;
+  }
+  return edge;
+}
+
+}  // namespace
+
+Provenance explain_decide(const CausalGraph& g, EventIndex decide_event) {
+  const trace::ParsedTrace& trace = g.trace();
+  Provenance p;
+  p.decide_event = decide_event;
+  if (decide_event >= g.size() ||
+      trace.events[decide_event].kind != "decide") {
+    return p;
+  }
+  const trace::ParsedEvent& decide = trace.events[decide_event];
+  p.decider = decide.p;
+  p.decider_correct = trace.is_correct(decide.p);
+  p.t = decide.t;
+  p.value = decide.value.value_or(0);
+
+  const std::vector<EventIndex> cone = g.causal_cone(decide_event);
+  p.cone_size = cone.size();
+  for (const EventIndex e : cone) {
+    const trace::ParsedEvent& ev = trace.events[e];
+    if (ev.p >= 0) p.contributors.insert(ev.p);
+    if (ev.kind == "oracle") p.oracle_events.push_back(e);
+    if (ev.kind == "decide" && e != decide_event && ev.p != decide.p) {
+      p.foreign_decides.push_back(e);
+    }
+  }
+  p.contamination = find_contamination(g, p, cone);
+  return p;
+}
+
+std::string render_provenance(const CausalGraph& g, const Provenance& p) {
+  const trace::ParsedTrace& trace = g.trace();
+  std::ostringstream os;
+  os << "decide: p" << p.decider << " ("
+     << (p.decider_correct ? "correct" : "faulty") << ") decided " << p.value
+     << " at t=" << p.t << "\n";
+  os << "  causal cone: " << p.cone_size << " events from processes "
+     << p.contributors.to_string() << "\n";
+
+  // Last FD sample per contributor inside the cone: the values the
+  // decision could have turned on, one line per process.
+  std::vector<EventIndex> last_sample(
+      static_cast<std::size_t>(trace.n > 0 ? trace.n : 0), kNoEvent);
+  for (const EventIndex e : p.oracle_events) {
+    const Pid q = trace.events[e].p;
+    if (q >= 0 && q < trace.n) last_sample[static_cast<std::size_t>(q)] = e;
+  }
+  for (Pid q = 0; q < trace.n; ++q) {
+    const EventIndex e = last_sample[static_cast<std::size_t>(q)];
+    if (e == kNoEvent) continue;
+    os << "  last fd in cone: p" << q << " sampled " << trace.events[e].fd
+       << " at t=" << trace.events[e].t << "\n";
+  }
+
+  for (const EventIndex e : p.foreign_decides) {
+    const trace::ParsedEvent& ev = trace.events[e];
+    os << "  known decision: p" << ev.p << " ("
+       << (trace.is_correct(ev.p) ? "correct" : "faulty") << ") decided "
+       << ev.value.value_or(0) << " at t=" << ev.t << "\n";
+  }
+
+  const ContaminationEdge& c = p.contamination;
+  if (!c.found) {
+    os << "  contamination: none (no faulty decision in the cone)\n";
+  } else {
+    os << "  contamination: faulty decider p" << c.faulty_decider
+       << " decided " << c.faulty_value << " at t=" << c.faulty_decide_t
+       << "\n";
+    if (c.deliver_event == kNoEvent) {
+      os << "    no message edge from that decision reached a correct "
+            "process in this trace\n";
+    } else {
+      os << "    first contaminating edge: p" << c.from << " -> p" << c.to
+         << " #" << c.seq << " (sent t=" << c.send_t << ", delivered t="
+         << c.deliver_t << ") into correct p" << c.to << "\n";
+      os << "    edge "
+         << (c.reaches_decider ? "is in this decision's causal cone"
+                               : "reaches a correct process but not this "
+                                 "decision's cone")
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string provenance_json(const CausalGraph& g, const Provenance& p) {
+  const trace::ParsedTrace& trace = g.trace();
+  std::ostringstream os;
+  os << "{\"decide\":{\"p\":" << p.decider << ",\"correct\":"
+     << (p.decider_correct ? "true" : "false") << ",\"t\":" << p.t
+     << ",\"value\":" << p.value << "},\"cone_events\":" << p.cone_size
+     << ",\"contributors\":[";
+  bool first = true;
+  for (const Pid q : p.contributors) {
+    if (!first) os << ",";
+    first = false;
+    os << q;
+  }
+  os << "],\"known_decisions\":[";
+  first = true;
+  for (const EventIndex e : p.foreign_decides) {
+    const trace::ParsedEvent& ev = trace.events[e];
+    if (!first) os << ",";
+    first = false;
+    os << "{\"p\":" << ev.p << ",\"correct\":"
+       << (trace.is_correct(ev.p) ? "true" : "false") << ",\"t\":" << ev.t
+       << ",\"value\":" << ev.value.value_or(0) << "}";
+  }
+  os << "],\"contamination\":";
+  const ContaminationEdge& c = p.contamination;
+  if (!c.found) {
+    os << "null";
+  } else {
+    os << "{\"faulty_decider\":" << c.faulty_decider << ",\"decide_t\":"
+       << c.faulty_decide_t << ",\"value\":" << c.faulty_value;
+    if (c.deliver_event != kNoEvent) {
+      os << ",\"edge\":{\"from\":" << c.from << ",\"to\":" << c.to
+         << ",\"seq\":" << c.seq << ",\"send_t\":" << c.send_t
+         << ",\"deliver_t\":" << c.deliver_t << ",\"reaches_decider\":"
+         << (c.reaches_decider ? "true" : "false") << "}";
+    } else {
+      os << ",\"edge\":null";
+    }
+    os << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace nucon::obs

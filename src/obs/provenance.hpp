@@ -1,0 +1,85 @@
+// Decision provenance: why did this process decide this value?
+//
+// For a `decide` event, walks its causal cone (obs/causal_graph.hpp) and
+// extracts the contamination story the paper's §6.3 scenario is built
+// around: which processes' events reached the decider, which
+// failure-detector values (leader / quorum) were sampled along those
+// paths, which *other* decisions sit in the cone — and, when a faulty
+// process's decision propagated, the first message edge that carried the
+// faulty decider's value into a correct process. That edge is the paper's
+// counterexample made concrete: send/deliver sequence numbers and sim
+// times of the exact message through which nonuniform agreement was lost.
+//
+// tools/trace_explain renders this; everything is a pure function of the
+// trace, so explanations are deterministic and testable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/causal_graph.hpp"
+
+namespace nucon::obs {
+
+/// The first message edge carrying a faulty decider's value into a
+/// correct process. `found` is false when no faulty decision sits in the
+/// explained decide's cone (nothing to contaminate with).
+struct ContaminationEdge {
+  bool found = false;
+
+  // The faulty process whose lone decision started the chain.
+  Pid faulty_decider = -1;
+  Time faulty_decide_t = 0;
+  std::int64_t faulty_value = 0;
+  EventIndex faulty_decide_event = kNoEvent;
+
+  // The first send causally after that decision whose delivery reached a
+  // correct process, with both endpoints' sim times.
+  EventIndex send_event = kNoEvent;
+  EventIndex deliver_event = kNoEvent;
+  Pid from = -1;
+  Pid to = -1;  // the correct process the value reached
+  std::int64_t seq = -1;
+  Time send_t = 0;
+  Time deliver_t = 0;
+
+  /// True when the contaminating delivery is itself in the explained
+  /// decide's causal cone (the chain demonstrably fed this decision, not
+  /// just some correct process's state).
+  bool reaches_decider = false;
+};
+
+/// What the cone of one decide event contains.
+struct Provenance {
+  EventIndex decide_event = kNoEvent;
+  Pid decider = -1;
+  bool decider_correct = false;
+  Time t = 0;
+  std::int64_t value = 0;
+
+  std::size_t cone_size = 0;
+  /// Processes with at least one event in the cone (the decider included).
+  ProcessSet contributors;
+  /// Oracle samples in the cone, recorded order (FD values the decision
+  /// could have depended on).
+  std::vector<EventIndex> oracle_events;
+  /// Decide events of *other* processes in the cone, recorded order:
+  /// decisions the decider could have known about.
+  std::vector<EventIndex> foreign_decides;
+
+  ContaminationEdge contamination;
+};
+
+/// Explains one decide event (must be index of a "decide" in g.trace()).
+[[nodiscard]] Provenance explain_decide(const CausalGraph& g,
+                                        EventIndex decide_event);
+
+/// Human-readable rendering (multi-line, trailing newline).
+[[nodiscard]] std::string render_provenance(const CausalGraph& g,
+                                            const Provenance& p);
+
+/// Machine-readable rendering: one JSON object (no trailing newline).
+[[nodiscard]] std::string provenance_json(const CausalGraph& g,
+                                          const Provenance& p);
+
+}  // namespace nucon::obs

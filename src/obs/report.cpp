@@ -1,0 +1,472 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace nucon::obs {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-tripping decimal rendering; deterministic for the
+/// serially folded doubles the report carries.
+std::string double_json(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Trim to the shortest representation that still round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+std::string metrics_json(const trace::MetricsRegistry& metrics) {
+  std::ostringstream os;
+  os << "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : metrics.counters()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : metrics.histograms()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":{\"count\":" << h.count()
+       << ",\"sum\":" << h.sum() << ",\"min\":" << h.min()
+       << ",\"max\":" << h.max() << ",\"p50\":" << h.quantile(0.5)
+       << ",\"p90\":" << h.quantile(0.9) << ",\"p99\":" << h.quantile(0.99)
+       << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string sweep_section_json(const SweepSection& s, bool include_timings) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << json_escape(s.name) << "\",\"spec\":\""
+     << json_escape(s.spec) << "\",\"runs\":" << s.runs
+     << ",\"undecided\":" << s.undecided
+     << ",\"termination_failures\":" << s.termination_failures
+     << ",\"uniform_violations\":" << s.uniform_violations
+     << ",\"nonuniform_violations\":" << s.nonuniform_violations
+     << ",\"expectation_failures\":" << s.expectation_failures
+     << ",\"mean_decide_round\":" << double_json(s.mean_decide_round)
+     << ",\"mean_steps\":" << double_json(s.mean_steps)
+     << ",\"mean_messages\":" << double_json(s.mean_messages)
+     << ",\"mean_kbytes\":" << double_json(s.mean_kbytes) << ","
+     << metrics_json(s.metrics) << ",\"failures\":[";
+  for (std::size_t i = 0; i < s.failure_artifacts.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"artifact\":\"" << json_escape(s.failure_artifacts[i]) << "\"";
+    if (i < s.failure_trace_paths.size() && !s.failure_trace_paths[i].empty()) {
+      os << ",\"trace\":\"" << json_escape(s.failure_trace_paths[i]) << "\"";
+    }
+    os << "}";
+  }
+  os << "]";
+  if (include_timings) {
+    os << ",\"wall_seconds\":" << double_json(s.wall_seconds);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+SweepSection section_of(std::string name, std::string spec,
+                        const exp::SweepResult& result) {
+  SweepSection s;
+  s.name = std::move(name);
+  s.spec = std::move(spec);
+  const exp::SweepAggregate& agg = result.aggregate;
+  s.runs = agg.runs;
+  s.undecided = agg.undecided;
+  s.termination_failures = agg.termination_failures;
+  s.uniform_violations = agg.uniform_violations;
+  s.nonuniform_violations = agg.nonuniform_violations;
+  s.expectation_failures = agg.expectation_failures;
+  s.mean_decide_round = agg.decide_rounds.mean();
+  s.mean_steps = agg.steps.mean();
+  s.mean_messages = agg.messages.mean();
+  s.mean_kbytes = agg.kbytes.mean();
+  s.metrics = agg.metrics;
+  for (const exp::ReplayArtifact& a : agg.failures) {
+    s.failure_artifacts.push_back(a.to_string());
+  }
+  s.failure_trace_paths = agg.failure_trace_paths;
+  s.failure_trace_paths.resize(s.failure_artifacts.size());
+  s.wall_seconds = result.wall_seconds;
+  return s;
+}
+
+SweepSection section_of_jobs(std::string name, std::string spec,
+                             const std::vector<exp::JobOutcome>& jobs,
+                             const std::vector<std::size_t>& indices) {
+  SweepSection s;
+  s.name = std::move(name);
+  s.spec = std::move(spec);
+  Accumulator rounds, steps, messages, kbytes;
+  for (const std::size_t i : indices) {
+    const exp::JobOutcome& job = jobs[i];
+    ++s.runs;
+    if (!job.stats.all_correct_decided) ++s.undecided;
+    if (!job.stats.verdict.termination) ++s.termination_failures;
+    if (!job.stats.verdict.uniform_agreement) ++s.uniform_violations;
+    if (!job.stats.verdict.nonuniform_agreement) ++s.nonuniform_violations;
+    if (!job.ok) {
+      ++s.expectation_failures;
+      s.failure_artifacts.push_back(exp::ReplayArtifact{job.point}.to_string());
+    }
+    if (job.stats.decide_round > 0) rounds.add(job.stats.decide_round);
+    steps.add(static_cast<double>(job.stats.steps));
+    messages.add(static_cast<double>(job.stats.messages_sent));
+    kbytes.add(static_cast<double>(job.stats.bytes_sent) / 1024.0);
+    s.metrics.merge(job.stats.metrics);
+  }
+  s.mean_decide_round = rounds.mean();
+  s.mean_steps = steps.mean();
+  s.mean_messages = messages.mean();
+  s.mean_kbytes = kbytes.mean();
+  s.failure_trace_paths.resize(s.failure_artifacts.size());
+  return s;
+}
+
+std::string report_json(const BenchReport& report, bool include_timings) {
+  std::ostringstream os;
+  os << "{\"v\":" << kReportSchemaVersion << ",\"name\":\""
+     << json_escape(report.name) << "\",\"tables\":[";
+  for (std::size_t i = 0; i < report.tables.size(); ++i) {
+    const TableSection& t = report.tables[i];
+    if (i > 0) os << ",";
+    os << "{\"title\":\"" << json_escape(t.title) << "\",\"headers\":[";
+    for (std::size_t j = 0; j < t.headers.size(); ++j) {
+      if (j > 0) os << ",";
+      os << "\"" << json_escape(t.headers[j]) << "\"";
+    }
+    os << "],\"rows\":[";
+    for (std::size_t r = 0; r < t.rows.size(); ++r) {
+      if (r > 0) os << ",";
+      os << "[";
+      for (std::size_t j = 0; j < t.rows[r].size(); ++j) {
+        if (j > 0) os << ",";
+        os << "\"" << json_escape(t.rows[r][j]) << "\"";
+      }
+      os << "]";
+    }
+    os << "]}";
+  }
+  os << "],\"sweeps\":[";
+  for (std::size_t i = 0; i < report.sweeps.size(); ++i) {
+    if (i > 0) os << ",";
+    os << sweep_section_json(report.sweeps[i], include_timings);
+  }
+  os << "]";
+  if (include_timings && !report.timings.empty()) {
+    os << ",\"timings\":{";
+    bool first = true;
+    for (const auto& [phase, seconds] : report.timings) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << json_escape(phase) << "\":" << double_json(seconds);
+    }
+    os << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string report_markdown(const BenchReport& report) {
+  std::ostringstream os;
+  os << "## " << report.name << "\n";
+  for (const TableSection& t : report.tables) {
+    os << "\n### " << t.title << "\n\n|";
+    for (const std::string& h : t.headers) os << " " << h << " |";
+    os << "\n|";
+    for (std::size_t j = 0; j < t.headers.size(); ++j) os << "---|";
+    os << "\n";
+    for (const auto& row : t.rows) {
+      os << "|";
+      for (const std::string& cell : row) os << " " << cell << " |";
+      os << "\n";
+    }
+  }
+  if (!report.sweeps.empty()) {
+    os << "\n### sweeps\n\n"
+       << "| sweep | runs | undecided | term_fail | uniform_viol | "
+          "nonuniform_viol | expect_fail | mean_round | mean_steps | "
+          "mean_msgs |\n"
+       << "|---|---|---|---|---|---|---|---|---|---|\n";
+    char buf[64];
+    const auto fmt = [&buf](double v, int prec) {
+      std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+      return std::string(buf);
+    };
+    for (const SweepSection& s : report.sweeps) {
+      os << "| " << s.name << " | " << s.runs << " | " << s.undecided << " | "
+         << s.termination_failures << " | " << s.uniform_violations << " | "
+         << s.nonuniform_violations << " | " << s.expectation_failures
+         << " | " << fmt(s.mean_decide_round, 1) << " | "
+         << fmt(s.mean_steps, 0) << " | " << fmt(s.mean_messages, 0)
+         << " |\n";
+    }
+    for (const SweepSection& s : report.sweeps) {
+      for (std::size_t i = 0; i < s.failure_artifacts.size(); ++i) {
+        os << "\n- `" << s.name << "` failure: `" << s.failure_artifacts[i]
+           << "`";
+        if (i < s.failure_trace_paths.size() &&
+            !s.failure_trace_paths[i].empty()) {
+          os << " (trace: `" << s.failure_trace_paths[i] << "`)";
+        }
+      }
+    }
+  }
+  os << "\n";
+  return os.str();
+}
+
+bool write_report_json(const BenchReport& report, const std::string& path) {
+  const std::string json = report_json(report, /*include_timings=*/true);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+// ---------------------------------------------------------------------------
+// Validation: a minimal JSON parser (syntax only, no number semantics
+// beyond strtod) plus structural checks against the schema above.
+
+namespace {
+
+struct JsonCursor {
+  const char* s;
+  const char* end;
+  std::string error;
+
+  void skip_ws() {
+    while (s < end && (*s == ' ' || *s == '\t' || *s == '\n' || *s == '\r')) {
+      ++s;
+    }
+  }
+  bool fail(const std::string& msg) {
+    if (error.empty()) error = msg;
+    return false;
+  }
+};
+
+bool skip_value(JsonCursor& c);
+
+bool skip_string(JsonCursor& c) {
+  if (c.s >= c.end || *c.s != '"') return c.fail("expected string");
+  ++c.s;
+  while (c.s < c.end && *c.s != '"') {
+    if (*c.s == '\\') {
+      ++c.s;
+      if (c.s >= c.end) break;
+    }
+    ++c.s;
+  }
+  if (c.s >= c.end) return c.fail("unterminated string");
+  ++c.s;
+  return true;
+}
+
+bool skip_object(JsonCursor& c) {
+  ++c.s;  // '{'
+  c.skip_ws();
+  if (c.s < c.end && *c.s == '}') {
+    ++c.s;
+    return true;
+  }
+  while (true) {
+    c.skip_ws();
+    if (!skip_string(c)) return false;
+    c.skip_ws();
+    if (c.s >= c.end || *c.s != ':') return c.fail("expected ':' in object");
+    ++c.s;
+    if (!skip_value(c)) return false;
+    c.skip_ws();
+    if (c.s < c.end && *c.s == ',') {
+      ++c.s;
+      continue;
+    }
+    if (c.s < c.end && *c.s == '}') {
+      ++c.s;
+      return true;
+    }
+    return c.fail("expected ',' or '}' in object");
+  }
+}
+
+bool skip_array(JsonCursor& c) {
+  ++c.s;  // '['
+  c.skip_ws();
+  if (c.s < c.end && *c.s == ']') {
+    ++c.s;
+    return true;
+  }
+  while (true) {
+    if (!skip_value(c)) return false;
+    c.skip_ws();
+    if (c.s < c.end && *c.s == ',') {
+      ++c.s;
+      continue;
+    }
+    if (c.s < c.end && *c.s == ']') {
+      ++c.s;
+      return true;
+    }
+    return c.fail("expected ',' or ']' in array");
+  }
+}
+
+bool skip_value(JsonCursor& c) {
+  c.skip_ws();
+  if (c.s >= c.end) return c.fail("unexpected end of document");
+  switch (*c.s) {
+    case '{':
+      return skip_object(c);
+    case '[':
+      return skip_array(c);
+    case '"':
+      return skip_string(c);
+    case 't':
+      if (c.end - c.s >= 4 && std::string(c.s, 4) == "true") {
+        c.s += 4;
+        return true;
+      }
+      return c.fail("bad literal");
+    case 'f':
+      if (c.end - c.s >= 5 && std::string(c.s, 5) == "false") {
+        c.s += 5;
+        return true;
+      }
+      return c.fail("bad literal");
+    case 'n':
+      if (c.end - c.s >= 4 && std::string(c.s, 4) == "null") {
+        c.s += 4;
+        return true;
+      }
+      return c.fail("bad literal");
+    default: {
+      char* num_end = nullptr;
+      std::strtod(c.s, &num_end);
+      if (num_end == c.s) return c.fail("unexpected character");
+      c.s = num_end;
+      return true;
+    }
+  }
+}
+
+/// The raw text of a top-level field `"name":` in `json` (object values:
+/// the `{...}`/`[...]` span; scalars: the token). Top-level only — does
+/// not recurse into nested objects looking for the key.
+std::optional<std::string> top_level_field(const std::string& json,
+                                           const std::string& name) {
+  JsonCursor c{json.data(), json.data() + json.size(), {}};
+  c.skip_ws();
+  if (c.s >= c.end || *c.s != '{') return std::nullopt;
+  ++c.s;
+  while (true) {
+    c.skip_ws();
+    if (c.s < c.end && *c.s == '}') return std::nullopt;
+    const char* key_begin = c.s;
+    if (!skip_string(c)) return std::nullopt;
+    const std::string key(key_begin + 1, c.s - 1);
+    c.skip_ws();
+    if (c.s >= c.end || *c.s != ':') return std::nullopt;
+    ++c.s;
+    c.skip_ws();
+    const char* value_begin = c.s;
+    if (!skip_value(c)) return std::nullopt;
+    if (key == name) return std::string(value_begin, c.s);
+    c.skip_ws();
+    if (c.s < c.end && *c.s == ',') {
+      ++c.s;
+      continue;
+    }
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<std::string> validate_report_json(const std::string& json) {
+  // 1. The document must be syntactically valid JSON with one value.
+  JsonCursor c{json.data(), json.data() + json.size(), {}};
+  if (!skip_value(c)) return "not valid JSON: " + c.error;
+  c.skip_ws();
+  if (c.s != c.end) return "trailing bytes after the JSON document";
+
+  // 2. Top-level shape: an object with the versioned header.
+  const auto v = top_level_field(json, "v");
+  if (!v) return "missing schema version field \"v\"";
+  if (*v != std::to_string(kReportSchemaVersion)) {
+    return "unsupported report schema version " + *v;
+  }
+  const auto name = top_level_field(json, "name");
+  if (!name || name->empty() || (*name)[0] != '"') {
+    return "missing or non-string \"name\"";
+  }
+  const auto tables = top_level_field(json, "tables");
+  if (!tables || (*tables)[0] != '[') return "missing or non-array \"tables\"";
+  const auto sweeps = top_level_field(json, "sweeps");
+  if (!sweeps || (*sweeps)[0] != '[') return "missing or non-array \"sweeps\"";
+
+  // 3. Every sweep section must carry the verdict counters and metrics.
+  // Cheap but effective: scan the sweeps array for the required keys per
+  // object (each section object is emitted with all keys).
+  std::size_t pos = 0;
+  std::size_t section = 0;
+  while ((pos = sweeps->find("{\"name\":", pos)) != std::string::npos) {
+    std::size_t next = sweeps->find("{\"name\":", pos + 1);
+    if (next == std::string::npos) next = sweeps->size();
+    const std::string slice = sweeps->substr(pos, next - pos);
+    for (const char* key :
+         {"\"spec\":", "\"runs\":", "\"undecided\":",
+          "\"termination_failures\":", "\"uniform_violations\":",
+          "\"nonuniform_violations\":", "\"expectation_failures\":",
+          "\"counters\":", "\"histograms\":", "\"failures\":"}) {
+      if (slice.find(key) == std::string::npos) {
+        return "sweep section " + std::to_string(section) + " missing " + key;
+      }
+    }
+    ++section;
+    pos = next;
+  }
+  return std::nullopt;
+}
+
+}  // namespace nucon::obs

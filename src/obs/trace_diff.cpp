@@ -1,0 +1,48 @@
+#include "obs/trace_diff.hpp"
+
+#include <algorithm>
+
+namespace nucon::obs {
+namespace {
+
+/// The tail of the cone of `e` (or of the last event when e is past the
+/// end), capped; ascending order.
+std::vector<EventIndex> context_of(const trace::ParsedTrace& t, EventIndex e,
+                                   std::size_t cap) {
+  if (t.events.empty()) return {};
+  const CausalGraph g(t);
+  const EventIndex anchor = std::min<EventIndex>(e, t.events.size() - 1);
+  std::vector<EventIndex> cone = g.causal_cone(anchor);
+  if (cone.size() > cap) cone.erase(cone.begin(), cone.end() - static_cast<std::ptrdiff_t>(cap));
+  return cone;
+}
+
+}  // namespace
+
+TraceDiff diff_traces(const trace::ParsedTrace& a, const trace::ParsedTrace& b,
+                      std::size_t context_cap) {
+  TraceDiff d;
+  d.a_events = a.events.size();
+  d.b_events = b.events.size();
+  d.meta_differs =
+      a.n != b.n || a.correct != b.correct || a.expect != b.expect;
+
+  const std::size_t common = std::min(a.events.size(), b.events.size());
+  std::size_t i = 0;
+  while (i < common && a.events[i].raw == b.events[i].raw) ++i;
+
+  if (i == common && a.events.size() == b.events.size()) {
+    d.event_index = common;
+    return d;  // identical event streams
+  }
+
+  d.diverged = true;
+  d.event_index = i;
+  if (i < a.events.size()) d.a_line = a.events[i].raw;
+  if (i < b.events.size()) d.b_line = b.events[i].raw;
+  d.a_context = context_of(a, i, context_cap);
+  d.b_context = context_of(b, i, context_cap);
+  return d;
+}
+
+}  // namespace nucon::obs

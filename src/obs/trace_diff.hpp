@@ -1,0 +1,60 @@
+// Trace diffing: where do two runs first part ways?
+//
+// Traces are byte-deterministic, so two traces of the same SweepPoint are
+// byte-identical and any difference is meaningful. Aligning two traces
+// event-by-event and reporting the *first* divergent event (with its
+// causal context) turns two recurring workflows into one comparison:
+//
+//   - determinism triage: same point, two machines/thread counts — the
+//     first divergent event localizes the nondeterminism;
+//   - what-if comparison: same seed, different oracle mode or algorithm —
+//     the first divergent event is where the knob started to matter.
+//
+// Surfaced as `trace_dump --diff A B`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/causal_graph.hpp"
+
+namespace nucon::obs {
+
+struct TraceDiff {
+  /// True when the event streams differ (meta differences alone do not
+  /// set this — two runs of different points legitimately carry different
+  /// artifact strings yet may schedule identically).
+  bool diverged = false;
+
+  /// Index of the first divergent event: the first position where the
+  /// raw event lines differ, or min(size_a, size_b) when one trace is a
+  /// strict prefix of the other.
+  std::size_t event_index = 0;
+
+  /// The divergent events' raw lines; empty on the side whose trace
+  /// already ended.
+  std::string a_line;
+  std::string b_line;
+
+  std::size_t a_events = 0;
+  std::size_t b_events = 0;
+
+  /// True when the meta headers disagree (n, correct set, or expectation
+  /// flavor); reported alongside, never as divergence.
+  bool meta_differs = false;
+
+  /// Causal context: the last events (up to the context cap) of the
+  /// divergent event's causal cone in each trace — what led up to the
+  /// split, per side. For a side whose trace ended, the cone of its last
+  /// event.
+  std::vector<EventIndex> a_context;
+  std::vector<EventIndex> b_context;
+};
+
+/// Aligns `a` and `b` event-by-event; context_cap bounds the per-side
+/// causal context (most recent cone events kept).
+[[nodiscard]] TraceDiff diff_traces(const trace::ParsedTrace& a,
+                                    const trace::ParsedTrace& b,
+                                    std::size_t context_cap = 6);
+
+}  // namespace nucon::obs

@@ -66,25 +66,51 @@ std::optional<std::string> object_field(const std::string& line,
 
 }  // namespace
 
-std::optional<ParsedTrace> parse_trace(const std::string& jsonl) {
+std::optional<ParsedTrace> parse_trace(const std::string& jsonl,
+                                       ParseError* error) {
   ParsedTrace trace;
   bool saw_meta = false;
+  const auto fail = [error](std::size_t line_no, std::string message)
+      -> std::optional<ParsedTrace> {
+    if (error) *error = ParseError{std::move(message), line_no};
+    return std::nullopt;
+  };
 
   std::size_t begin = 0;
+  std::size_t line_no = 0;
   while (begin < jsonl.size()) {
     auto end = jsonl.find('\n', begin);
     if (end == std::string::npos) end = jsonl.size();
     const std::string line = jsonl.substr(begin, end - begin);
     begin = end + 1;
+    ++line_no;
     if (line.empty()) continue;
 
     const auto kind = string_field(line, "k");
-    if (!kind) return std::nullopt;
+    if (!kind) {
+      return fail(line_no, "no \"k\" (event kind) field: " +
+                               (line.size() > 60 ? line.substr(0, 60) + "..."
+                                                 : line));
+    }
 
     if (*kind == "meta") {
+      // Version gate first: a future schema may change every field below,
+      // so nothing else on the line is trusted before the check. A meta
+      // line without "v" is a pre-versioning (PR 2) trace and reads as
+      // version 1, which is exactly the schema it carries.
+      const std::int64_t v =
+          int_field(line, "v").value_or(kTraceSchemaVersion);
+      if (v != kTraceSchemaVersion) {
+        return fail(line_no, "unsupported trace schema version " +
+                                 std::to_string(v) + " (this reader supports " +
+                                 std::to_string(kTraceSchemaVersion) + ")");
+      }
+      trace.version = v;
       const auto n = int_field(line, "n");
       const auto correct = set_field(line, "correct");
-      if (!n || !correct) return std::nullopt;
+      if (!n || !correct) {
+        return fail(line_no, "meta line missing \"n\" or \"correct\"");
+      }
       trace.n = static_cast<Pid>(*n);
       trace.correct = *correct;
       trace.artifact = string_field(line, "artifact").value_or("");
@@ -113,7 +139,7 @@ std::optional<ParsedTrace> parse_trace(const std::string& jsonl) {
     trace.events.push_back(std::move(ev));
   }
 
-  if (!saw_meta) return std::nullopt;
+  if (!saw_meta) return fail(0, "no meta line in document");
   return trace;
 }
 
@@ -125,8 +151,21 @@ DivergenceReport find_divergence(const ParsedTrace& trace) {
     Time t;
     Pid p;
     std::int64_t value;
+    std::string fd;  // last oracle sample of p at its decide step
   };
   std::vector<Seen> all, correct_only;
+
+  // Oracle events precede the decide of the same step in recorded order,
+  // so "last fd seen so far" at the decide event is exactly the FD value
+  // the decider sampled at (or last before) its deciding step.
+  std::vector<std::string> last_fd(
+      trace.n > 0 ? static_cast<std::size_t>(trace.n) : 0);
+  const auto fd_of = [&last_fd](Pid p) -> const std::string& {
+    static const std::string empty;
+    return p >= 0 && static_cast<std::size_t>(p) < last_fd.size()
+               ? last_fd[static_cast<std::size_t>(p)]
+               : empty;
+  };
 
   const auto conflict = [](const std::vector<Seen>& seen,
                            const ParsedEvent& ev) -> const Seen* {
@@ -135,7 +174,8 @@ DivergenceReport find_divergence(const ParsedTrace& trace) {
     }
     return nullptr;
   };
-  const auto fill = [](Divergence& d, const ParsedEvent& ev, const Seen& s) {
+  const auto fill = [&fd_of](Divergence& d, const ParsedEvent& ev,
+                             const Seen& s) {
     d.found = true;
     d.t = ev.t;
     d.p = ev.p;
@@ -143,9 +183,16 @@ DivergenceReport find_divergence(const ParsedTrace& trace) {
     d.earlier_t = s.t;
     d.earlier_p = s.p;
     d.earlier_value = s.value;
+    d.fd = fd_of(ev.p);
+    d.earlier_fd = s.fd;
   };
 
   for (const ParsedEvent& ev : trace.events) {
+    if (ev.kind == "oracle" && ev.p >= 0 &&
+        static_cast<std::size_t>(ev.p) < last_fd.size()) {
+      last_fd[static_cast<std::size_t>(ev.p)] = ev.fd;
+      continue;
+    }
     if (ev.kind != "decide" || !ev.value) continue;
     if (!report.uniform.found) {
       if (const Seen* s = conflict(all, ev)) fill(report.uniform, ev, *s);
@@ -155,8 +202,9 @@ DivergenceReport find_divergence(const ParsedTrace& trace) {
         fill(report.nonuniform, ev, *s);
       }
     }
-    all.push_back({ev.t, ev.p, *ev.value});
-    if (trace.is_correct(ev.p)) correct_only.push_back({ev.t, ev.p, *ev.value});
+    const Seen seen{ev.t, ev.p, *ev.value, fd_of(ev.p)};
+    all.push_back(seen);
+    if (trace.is_correct(ev.p)) correct_only.push_back(seen);
   }
   return report;
 }

@@ -21,6 +21,11 @@
 
 namespace nucon::trace {
 
+/// The JSONL schema version this reader understands. The recorder stamps
+/// it into the meta record (`"v":1`); a trace carrying a different version
+/// is rejected up front instead of being silently misparsed.
+inline constexpr std::int64_t kTraceSchemaVersion = 1;
+
 struct ParsedEvent {
   std::string kind;  // step, oracle, send, deliver, state, decide, verdict
   Time t = -1;
@@ -39,6 +44,7 @@ struct ParsedEvent {
 
 struct ParsedTrace {
   // Meta header.
+  std::int64_t version = kTraceSchemaVersion;
   std::string artifact;
   std::string expect;
   Pid n = 0;
@@ -49,9 +55,23 @@ struct ParsedTrace {
   [[nodiscard]] bool is_correct(Pid p) const { return correct.contains(p); }
 };
 
+/// Why a parse failed: a one-line message plus the 1-based line number of
+/// the offending JSONL line (0 when the document as a whole is at fault,
+/// e.g. no meta line anywhere). The CLI tools print exactly this.
+struct ParseError {
+  std::string message;
+  std::size_t line = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    return line == 0 ? message : "line " + std::to_string(line) + ": " + message;
+  }
+};
+
 /// Parses a whole JSONL document. Returns nullopt if the meta line is
-/// missing or any line is structurally broken.
-[[nodiscard]] std::optional<ParsedTrace> parse_trace(const std::string& jsonl);
+/// missing, the schema version is unknown, or any line is structurally
+/// broken; when `error` is non-null it receives the diagnostic.
+[[nodiscard]] std::optional<ParsedTrace> parse_trace(const std::string& jsonl,
+                                                     ParseError* error = nullptr);
 
 /// One agreement-divergence finding: the decide event that first
 /// contradicted an earlier decide.
@@ -64,6 +84,12 @@ struct Divergence {
   Time earlier_t = 0;
   Pid earlier_p = -1;
   std::int64_t earlier_value = 0;
+  /// The FD values the two deciders last sampled at (or before) their
+  /// decide steps — raw `fd` JSON fragments, empty when the trace carries
+  /// no oracle events. The paper's indistinguishability arguments turn on
+  /// exactly these: what each decider's detector told it when it decided.
+  std::string fd;
+  std::string earlier_fd;
 };
 
 struct DivergenceReport {

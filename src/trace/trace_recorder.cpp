@@ -83,7 +83,7 @@ void TraceRecorder::begin_run(const FailurePattern& fp,
                ",\"at\":" + std::to_string(fp.crash_time(p)) + "}";
   }
   crashes += "]";
-  line("{\"k\":\"meta\",\"artifact\":\"" + json_escape(artifact) +
+  line("{\"k\":\"meta\",\"v\":1,\"artifact\":\"" + json_escape(artifact) +
        "\",\"n\":" + std::to_string(fp.n()) + ",\"correct\":" +
        set_json(fp.correct()) + ",\"crashes\":" + crashes + ",\"expect\":\"" +
        json_escape(expect) + "\"}");

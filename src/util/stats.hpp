@@ -43,6 +43,13 @@ class TextTable {
   /// Renders with aligned columns; includes a header separator line.
   [[nodiscard]] std::string render() const;
 
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
   [[nodiscard]] static std::string fmt(double v, int precision = 2);
 
  private:

@@ -167,6 +167,7 @@ int main(int argc, char** argv) {
     } else if (flag == "--replay" && (value = next())) {
       cli.replay = value;
     } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return usage(argv[0]);
     }
   }
@@ -192,6 +193,16 @@ int main(int argc, char** argv) {
   const auto mode = parse_mode(cli.faulty_mode);
   if (!algo || !mode || cli.n < 2 || cli.n > kMaxProcesses || cli.faults < 0 ||
       cli.faults >= cli.n || cli.seeds < 1 || cli.threads < 1) {
+    if (!algo) {
+      std::fprintf(stderr, "unknown --algo: %s\n", cli.algo.c_str());
+    } else if (!mode) {
+      std::fprintf(stderr, "unknown --faulty-mode: %s\n",
+                   cli.faulty_mode.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "invalid combination: n=%d faults=%d seeds=%d threads=%d\n",
+                   cli.n, cli.faults, cli.seeds, cli.threads);
+    }
     return usage(argv[0]);
   }
 

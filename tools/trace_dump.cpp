@@ -12,14 +12,18 @@
 // Flags:
 //   --full          dump every event chronologically after the summary
 //   --process P     restrict --full to events of process P
+//   --diff A B      compare two traces: report the first divergent event
+//                   with the causal context of each side
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/trace_diff.hpp"
 #include "trace/trace_reader.hpp"
 
 using namespace nucon;
@@ -27,9 +31,68 @@ using namespace nucon;
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s [--full] [--process P] <trace.jsonl>\n",
-               argv0);
+  std::fprintf(stderr,
+               "usage: %s [--full] [--process P] <trace.jsonl>\n"
+               "       %s --diff <a.jsonl> <b.jsonl>\n",
+               argv0, argv0);
   return 2;
+}
+
+/// Reads and parses one trace, or prints a one-line diagnostic and returns
+/// nullopt (the caller exits nonzero).
+std::optional<trace::ParsedTrace> load_trace(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  trace::ParseError error;
+  auto trace = trace::parse_trace(buf.str(), &error);
+  if (!trace) {
+    std::fprintf(stderr, "%s: malformed trace: %s\n", path.c_str(),
+                 error.to_string().c_str());
+    return std::nullopt;
+  }
+  return trace;
+}
+
+int run_diff(const std::string& path_a, const std::string& path_b) {
+  const auto a = load_trace(path_a);
+  if (!a) return 1;
+  const auto b = load_trace(path_b);
+  if (!b) return 1;
+
+  const obs::TraceDiff d = obs::diff_traces(*a, *b);
+  if (d.meta_differs) {
+    std::printf("meta differs: A is n=%d correct=%s expect=%s, B is n=%d "
+                "correct=%s expect=%s\n",
+                a->n, a->correct.to_string().c_str(), a->expect.c_str(), b->n,
+                b->correct.to_string().c_str(), b->expect.c_str());
+  }
+  if (!d.diverged) {
+    std::printf("no divergence: %zu events are byte-identical\n", d.a_events);
+    return 0;
+  }
+  std::printf("first divergent event: index %zu (of %zu in A, %zu in B)\n",
+              d.event_index, d.a_events, d.b_events);
+  std::printf("  A: %s\n", d.a_line.empty() ? "<end of trace>"
+                                            : d.a_line.c_str());
+  std::printf("  B: %s\n", d.b_line.empty() ? "<end of trace>"
+                                            : d.b_line.c_str());
+  const auto print_context = [](const char* label,
+                                const trace::ParsedTrace& t,
+                                const std::vector<obs::EventIndex>& ctx) {
+    if (ctx.empty()) return;
+    std::printf("causal context in %s (most recent ancestors):\n", label);
+    for (const obs::EventIndex e : ctx) {
+      std::printf("  [%zu] %s\n", e, t.events[e].raw.c_str());
+    }
+  };
+  print_context("A", *a, d.a_context);
+  print_context("B", *b, d.b_context);
+  return 0;
 }
 
 struct ProcessSummary {
@@ -79,12 +142,14 @@ void print_divergence(const char* label, const trace::Divergence& d) {
     return;
   }
   std::printf(
-      "first %s-agreement divergence: t=%lld p%d decided %lld, contradicting "
-      "p%d's decision %lld at t=%lld\n",
+      "first %s-agreement divergence: t=%lld p%d decided %lld [fd %s], "
+      "contradicting p%d's decision %lld at t=%lld [fd %s]\n",
       label, static_cast<long long>(d.t), d.p,
-      static_cast<long long>(d.value), d.earlier_p,
+      static_cast<long long>(d.value),
+      d.fd.empty() ? "none sampled" : d.fd.c_str(), d.earlier_p,
       static_cast<long long>(d.earlier_value),
-      static_cast<long long>(d.earlier_t));
+      static_cast<long long>(d.earlier_t),
+      d.earlier_fd.empty() ? "none sampled" : d.earlier_fd.c_str());
 }
 
 }  // namespace
@@ -98,28 +163,19 @@ int main(int argc, char** argv) {
       full = true;
     } else if (std::strcmp(argv[i], "--process") == 0 && i + 1 < argc) {
       only_process = static_cast<Pid>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--diff") == 0 && i + 2 < argc) {
+      return run_diff(argv[i + 1], argv[i + 2]);
     } else if (argv[i][0] != '-' && path.empty()) {
       path = argv[i];
     } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", argv[i]);
       return usage(argv[0]);
     }
   }
   if (path.empty()) return usage(argv[0]);
 
-  std::ifstream f(path, std::ios::binary);
-  if (!f) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return 1;
-  }
-  std::ostringstream buf;
-  buf << f.rdbuf();
-
-  const auto trace = trace::parse_trace(buf.str());
-  if (!trace) {
-    std::fprintf(stderr, "unparseable trace (missing meta line?): %s\n",
-                 path.c_str());
-    return 1;
-  }
+  const auto trace = load_trace(path);
+  if (!trace) return 1;
 
   std::printf("trace: %s\n", path.c_str());
   if (!trace->artifact.empty()) {
