@@ -1,0 +1,160 @@
+// Hot-path throughput baseline for the simulation core.
+//
+// Not a paper experiment: this bench measures the simulator itself, so the
+// perf trajectory of the allocation overhaul (shared broadcast payloads,
+// reusable encode scratch, record_run off in sweep workers) is pinned to
+// numbers. Per registry algorithm it reports
+//
+//   steps/s     simulated automaton steps per wall-clock second,
+//   delivers/s  message deliveries per wall-clock second,
+//   B/bcast     payload bytes DEEP-COPIED per broadcast (post-overhaul),
+//   pre B/bcast what copy-per-destination would have copied (copied+shared),
+//   reduction   1 - copied/(copied+shared), the fraction of would-be copy
+//               bytes the refcounted payloads eliminated.
+//
+// The broadcast-heavy algorithms (A_nuc, StackedNuc, and the DAG gossip
+// inside StackedNuc) must show reduction >= (n-2)/(n-1): an n-1-way
+// broadcast deep-copies at most one sealed scratch buffer where it used to
+// copy n-1 times, and pure-move payloads (DAG gossip) copy nothing at all.
+//
+// NUCON_HOTPATH_QUICK=1 shrinks seeds and step budgets for CI
+// (scripts/bench-quick.sh); the report schema is identical.
+#include <chrono>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "util/shared_bytes.hpp"
+
+namespace nucon::bench {
+namespace {
+
+bool quick_mode() {
+  const char* v = std::getenv("NUCON_HOTPATH_QUICK");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+constexpr exp::Algo kRegistry[] = {
+    exp::Algo::kAnuc,      exp::Algo::kStacked, exp::Algo::kMrMajority,
+    exp::Algo::kMrSigma,   exp::Algo::kNaive,   exp::Algo::kCt,
+    exp::Algo::kBenOr,     exp::Algo::kFromScratch,
+};
+
+struct HotpathRow {
+  double steps_per_second = 0.0;
+  double delivers_per_second = 0.0;
+  double copied_per_broadcast = 0.0;
+  double prechange_per_broadcast = 0.0;
+  /// 1 - copied/(copied+shared); 1.0 when nothing was copied at all.
+  double copy_reduction = 1.0;
+  std::int64_t steps = 0;
+};
+
+std::vector<exp::SweepPoint> points_for(exp::Algo algo, Pid n, int seeds,
+                                        std::int64_t max_steps) {
+  exp::SweepGrid grid;
+  grid.algos = {algo};
+  grid.ns = {n};
+  grid.fault_counts = {1};
+  grid.seed_count = seeds;
+  grid.max_steps = max_steps;
+  return grid.expand();
+}
+
+HotpathRow measure(exp::Algo algo, Pid n, int seeds, std::int64_t max_steps) {
+  HotpathRow row;
+  const PayloadCounters before = SharedBytes::counters();
+  std::int64_t delivers = 0;
+
+  const auto started = std::chrono::steady_clock::now();
+  for (const exp::SweepPoint& pt : points_for(algo, n, seeds, max_steps)) {
+    const ConsensusRunStats stats = exp::run_point(pt);
+    row.steps += static_cast<std::int64_t>(stats.steps);
+    delivers += stats.metrics.counter_value("scheduler.delivers");
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  const PayloadCounters c = SharedBytes::counters() - before;
+  if (elapsed > 0.0) {
+    row.steps_per_second = static_cast<double>(row.steps) / elapsed;
+    row.delivers_per_second = static_cast<double>(delivers) / elapsed;
+  }
+  if (c.broadcasts > 0) {
+    row.copied_per_broadcast = static_cast<double>(c.copied_bytes) /
+                               static_cast<double>(c.broadcasts);
+    row.prechange_per_broadcast =
+        static_cast<double>(c.copied_bytes + c.shared_bytes) /
+        static_cast<double>(c.broadcasts);
+  }
+  if (c.copied_bytes + c.shared_bytes > 0) {
+    row.copy_reduction =
+        1.0 - static_cast<double>(c.copied_bytes) /
+                  static_cast<double>(c.copied_bytes + c.shared_bytes);
+  }
+  return row;
+}
+
+void experiments() {
+  const bool quick = quick_mode();
+  const Pid n = 6;
+  const int seeds = quick ? 2 : 10;
+  const std::int64_t max_steps = quick ? 20'000 : 100'000;
+
+  {
+    TextTable t({"algorithm", "steps/s", "delivers/s", "B/bcast",
+                 "pre B/bcast", "reduction", "steps"});
+    for (const exp::Algo algo : kRegistry) {
+      const HotpathRow r = measure(algo, n, seeds, max_steps);
+      t.add_row({exp::algo_name(algo), TextTable::fmt(r.steps_per_second, 0),
+                 TextTable::fmt(r.delivers_per_second, 0),
+                 TextTable::fmt(r.copied_per_broadcast, 1),
+                 TextTable::fmt(r.prechange_per_broadcast, 1),
+                 TextTable::fmt(r.copy_reduction, 3),
+                 std::to_string(r.steps)});
+    }
+    print_section("H1: simulation-core throughput baseline (n=6, faults=1)",
+                  t);
+  }
+
+  // One parallel sweep through the runner so the report also carries the
+  // engine-level steps_per_second field next to wall_seconds.
+  {
+    exp::SweepGrid grid;
+    grid.algos = {exp::Algo::kAnuc, exp::Algo::kMrSigma, exp::Algo::kCt};
+    grid.ns = {5};
+    grid.seed_count = quick ? 2 : 8;
+    grid.max_steps = quick ? 20'000 : 60'000;
+    const exp::SweepResult result = exp::SweepRunner{}.run(grid);
+    record_sweep("hotpath-sweep", "3 algos x n=5, engine throughput", result);
+    TextTable t({"points", "wall_s", "steps/s"});
+    t.add_row({std::to_string(result.jobs.size()),
+               TextTable::fmt(result.wall_seconds, 3),
+               TextTable::fmt(result.steps_per_second, 0)});
+    print_section("H2: sweep-engine throughput (record_run off in workers)",
+                  t);
+  }
+}
+
+void BM_RunPoint(benchmark::State& state) {
+  const auto algo = static_cast<exp::Algo>(state.range(0));
+  exp::SweepPoint pt;
+  pt.algo = algo;
+  pt.n = 6;
+  pt.max_steps = 20'000;
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    pt.seed += 1;
+    const ConsensusRunStats stats = exp::run_point(pt);
+    steps += static_cast<std::int64_t>(stats.steps);
+    benchmark::DoNotOptimize(stats.steps);
+  }
+  state.SetLabel(exp::algo_name(algo));
+  state.SetItemsProcessed(steps);  // items/s == simulated steps/s
+}
+BENCHMARK(BM_RunPoint)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nucon::bench
+
+NUCON_BENCH_MAIN(nucon::bench::experiments, "hotpath")

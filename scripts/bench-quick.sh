@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# bench-quick: the scaled-down simulation-core throughput baseline.
+#
+# Builds and runs bench_hotpath with NUCON_HOTPATH_QUICK=1 (small seed
+# counts and step budgets), emitting build/BENCH_hotpath.json: steps/sec
+# and delivers/sec per registry algorithm, bytes-copied-per-broadcast for
+# the shared-payload regression check, and the sweep-engine throughput
+# section. See EXPERIMENTS.md "Throughput baseline".
+#
+# Usage: scripts/bench-quick.sh   (from the repo root)
+set -e
+cd "$(dirname "$0")/.."
+cmake --preset default
+cmake --build --preset bench-quick
+echo "==> bench-quick: wrote build/BENCH_hotpath.json"

@@ -8,6 +8,9 @@
 #   check-asan      configure + build + sweep/obs-labeled ctest under ASan/UBSan
 #   check-tsan      configure + build + sweep/obs-labeled ctest under TSan
 #
+# then runs the quick throughput baseline (scripts/bench-quick.sh) so a
+# perf regression in the simulation core shows up in the same pass.
+#
 # Usage: scripts/check-all.sh   (from the repo root)
 set -e
 cd "$(dirname "$0")/.."
@@ -15,4 +18,6 @@ for wf in check-default check-asan check-tsan; do
   echo "==> cmake --workflow --preset $wf"
   cmake --workflow --preset "$wf"
 done
+echo "==> scripts/bench-quick.sh"
+scripts/bench-quick.sh
 echo "==> check-all: all workflows passed"

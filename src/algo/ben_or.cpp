@@ -8,15 +8,15 @@ namespace {
 constexpr std::uint8_t kTagReport = 1;
 constexpr std::uint8_t kTagProposal = 2;
 
-Bytes encode(std::uint8_t tag, int round, Value v) {
-  ByteWriter w;
-  w.u8(tag);
-  w.uvarint(static_cast<std::uint64_t>(round));
-  w.svarint(v);
-  return w.take();
-}
-
 }  // namespace
+
+SharedBytes BenOr::encode(std::uint8_t tag, int round, Value v) {
+  scratch_.reset();
+  scratch_.u8(tag);
+  scratch_.uvarint(static_cast<std::uint64_t>(round));
+  scratch_.svarint(v);
+  return SharedBytes(scratch_.buffer());
+}
 
 BenOr::BenOr(Pid self, Value proposal, Pid n, Pid t, std::uint64_t coin_seed)
     : self_(self),

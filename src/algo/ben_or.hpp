@@ -56,6 +56,9 @@ class BenOr final : public ConsensusAutomaton {
   void advance(std::vector<Outgoing>& out);
   void start_round(std::vector<Outgoing>& out);
 
+  /// Seals (tag, round, v) into scratch_ and returns one shareable buffer.
+  [[nodiscard]] SharedBytes encode(std::uint8_t tag, int round, Value v);
+
   const Pid self_;
   const Pid n_;
   const Pid t_;
@@ -68,6 +71,10 @@ class BenOr final : public ConsensusAutomaton {
   Rng coin_;
   std::int64_t coin_flips_ = 0;
   std::map<int, RoundMsgs> inbox_;
+
+  /// Encode scratch: reset before each message build, so steady-state
+  /// encoding reuses one grown buffer instead of allocating per send.
+  ByteWriter scratch_;
 };
 
 [[nodiscard]] ConsensusFactory make_ben_or(Pid n, Pid t,

@@ -28,12 +28,12 @@ void CtConsensus::step(const Incoming* in, const FdValue& d,
 void CtConsensus::start_round(std::vector<Outgoing>& out) {
   inbox_.erase(inbox_.begin(), inbox_.lower_bound(round_));
   ++round_;
-  ByteWriter w;
-  w.u8(kTagEstimate);
-  w.uvarint(static_cast<std::uint64_t>(round_));
-  w.svarint(x_);
-  w.uvarint(static_cast<std::uint64_t>(ts_));
-  out.push_back({coordinator_of(round_), w.take()});
+  scratch_.reset();
+  scratch_.u8(kTagEstimate);
+  scratch_.uvarint(static_cast<std::uint64_t>(round_));
+  scratch_.svarint(x_);
+  scratch_.uvarint(static_cast<std::uint64_t>(ts_));
+  out.push_back({coordinator_of(round_), SharedBytes(scratch_.buffer())});
   phase_ = coordinator_of(round_) == self_ ? Phase::kAwaitEstimates
                                            : Phase::kAwaitSelection;
 }
@@ -45,10 +45,10 @@ void CtConsensus::flood_decide(Value v, std::vector<Outgoing>& out) {
   }
   if (flooded_decide_) return;
   flooded_decide_ = true;
-  ByteWriter w;
-  w.u8(kTagDecide);
-  w.svarint(v);
-  broadcast(n_, w.take(), out);
+  scratch_.reset();
+  scratch_.u8(kTagDecide);
+  scratch_.svarint(v);
+  broadcast(n_, SharedBytes(scratch_.buffer()), out);
 }
 
 void CtConsensus::on_message(Pid from, const Bytes& payload,
@@ -113,28 +113,29 @@ void CtConsensus::advance(const FdValue& d, std::vector<Outgoing>& out) {
         if (est.second > best.second) best = est;
       }
       select_value_ = best.first;
-      ByteWriter w;
-      w.u8(kTagSelect);
-      w.uvarint(static_cast<std::uint64_t>(round_));
-      w.svarint(best.first);
-      broadcast(n_, w.take(), out);
+      scratch_.reset();
+      scratch_.u8(kTagSelect);
+      scratch_.uvarint(static_cast<std::uint64_t>(round_));
+      scratch_.svarint(best.first);
+      broadcast(n_, SharedBytes(scratch_.buffer()), out);
       phase_ = Phase::kAwaitSelection;
       continue;
     }
 
     if (phase_ == Phase::kAwaitSelection) {
       const Pid coord = coordinator_of(round_);
-      ByteWriter w;
       if (inbox.selection) {
         x_ = *inbox.selection;
         ts_ = round_;
-        w.u8(kTagAck);
-        w.uvarint(static_cast<std::uint64_t>(round_));
-        out.push_back({coord, w.take()});
+        scratch_.reset();
+        scratch_.u8(kTagAck);
+        scratch_.uvarint(static_cast<std::uint64_t>(round_));
+        out.push_back({coord, SharedBytes(scratch_.buffer())});
       } else if (d.has_suspects() && d.suspects().contains(coord)) {
-        w.u8(kTagNack);
-        w.uvarint(static_cast<std::uint64_t>(round_));
-        out.push_back({coord, w.take()});
+        scratch_.reset();
+        scratch_.u8(kTagNack);
+        scratch_.uvarint(static_cast<std::uint64_t>(round_));
+        out.push_back({coord, SharedBytes(scratch_.buffer())});
       } else {
         return;  // keep waiting for the selection or for suspicion
       }

@@ -79,6 +79,10 @@ class CtConsensus final : public ConsensusAutomaton {
   int decided_round_ = 0;
   bool flooded_decide_ = false;
   std::map<int, RoundInbox> inbox_;
+
+  /// Encode scratch: reset before each message build, so steady-state
+  /// encoding reuses one grown buffer instead of allocating per send.
+  ByteWriter scratch_;
 };
 
 [[nodiscard]] ConsensusFactory make_ct(Pid n);

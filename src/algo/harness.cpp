@@ -20,7 +20,7 @@ ConsensusRunStats run_consensus(const FailurePattern& fp, Oracle& oracle,
   stats.verdict = check_consensus(fp, proposals, stats.decisions);
   stats.messages_sent = sim.messages_sent;
   stats.bytes_sent = sim.bytes_sent;
-  stats.steps = sim.run.steps.size();
+  stats.steps = sim.steps_taken;
   stats.end_time = sim.end_time;
   stats.all_correct_decided = all_correct_decided(fp, sim.automata);
 

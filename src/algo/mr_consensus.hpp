@@ -75,7 +75,8 @@ class MrConsensus final : public ConsensusAutomaton {
   [[nodiscard]] bool quorum_complete(
       const std::optional<Value> (&slot)[kMaxProcesses], ProcessSet q) const;
 
-  [[nodiscard]] static Bytes encode(std::uint8_t tag, int round, Value v);
+  /// Seals (tag, round, v) into scratch_ and returns one shareable buffer.
+  [[nodiscard]] SharedBytes encode(std::uint8_t tag, int round, Value v);
 
   const Pid self_;
   const MrOptions opts_;
@@ -86,6 +87,10 @@ class MrConsensus final : public ConsensusAutomaton {
   std::optional<Value> decided_;
   int decided_round_ = 0;
   std::map<int, RoundMsgs> inbox_;
+
+  /// Encode scratch: reset before each message build, so steady-state
+  /// encoding reuses one grown buffer instead of allocating per send.
+  ByteWriter scratch_;
 };
 
 /// Factory for the classic majority-based algorithm (use with Omega; needs

@@ -17,12 +17,12 @@ MrConsensus::MrConsensus(Pid self, Value proposal, MrOptions opts)
   assert(proposal != kQuestion);
 }
 
-Bytes MrConsensus::encode(std::uint8_t tag, int round, Value v) {
-  ByteWriter w;
-  w.u8(tag);
-  w.uvarint(static_cast<std::uint64_t>(round));
-  w.svarint(v);
-  return w.take();
+SharedBytes MrConsensus::encode(std::uint8_t tag, int round, Value v) {
+  scratch_.reset();
+  scratch_.u8(tag);
+  scratch_.uvarint(static_cast<std::uint64_t>(round));
+  scratch_.svarint(v);
+  return SharedBytes(scratch_.buffer());
 }
 
 void MrConsensus::on_message(Pid from, const Bytes& payload) {

@@ -33,7 +33,7 @@ void apply(const McOptions& opts, MState& state, const McStep& step) {
 
   std::vector<Outgoing> sends;
   if (msg) {
-    const Incoming in{msg->id.sender, &msg->payload};
+    const Incoming in{msg->id.sender, &msg->payload.get()};
     state.automata[static_cast<std::size_t>(p)]->step(&in, d, sends);
   } else {
     state.automata[static_cast<std::size_t>(p)]->step(nullptr, d, sends);
@@ -94,7 +94,7 @@ std::uint64_t state_key(const McOptions& opts, const MState& state) {
   for (Pid q = 0; q < opts.n; ++q) {
     for (std::size_t i = 0; i < state.buffer.pending_for(q); ++i) {
       const Message& m = state.buffer.peek(q, i);
-      wires.push_back({q, m.id.sender, m.id.seq, &m.payload});
+      wires.push_back({q, m.id.sender, m.id.seq, &m.payload.get()});
     }
   }
   std::sort(wires.begin(), wires.end(), [](const Wire& a, const Wire& b) {

@@ -44,12 +44,12 @@ void Anuc::start_round(std::vector<Outgoing>& out) {
   ++round_;
   phase_ = Phase::kAwaitLead;
   // Fig. 4 line 15: (LEAD, k, x, H) to all.
-  ByteWriter w;
-  w.u8(kTagLead);
-  w.uvarint(static_cast<std::uint64_t>(round_));
-  w.svarint(x_);
-  history_.encode(w);
-  broadcast(n_, w.take(), out);
+  scratch_.reset();
+  scratch_.u8(kTagLead);
+  scratch_.uvarint(static_cast<std::uint64_t>(round_));
+  scratch_.svarint(x_);
+  history_.encode(scratch_);
+  broadcast(n_, SharedBytes(scratch_.buffer()), out);
 }
 
 void Anuc::on_message(Pid from, const Bytes& payload,
@@ -83,11 +83,11 @@ void Anuc::on_message(Pid from, const Bytes& payload,
       const auto quorum = r.process_set();
       if (!quorum || !r.done()) return;
       history_.insert(from, *quorum);
-      ByteWriter w;
-      w.u8(kTagAck);
-      w.process_set(*quorum);
-      w.uvarint(static_cast<std::uint64_t>(round_));
-      out.push_back({from, w.take()});
+      scratch_.reset();
+      scratch_.u8(kTagAck);
+      scratch_.process_set(*quorum);
+      scratch_.uvarint(static_cast<std::uint64_t>(round_));
+      out.push_back({from, SharedBytes(scratch_.buffer())});
       break;
     }
     case kTagAck: {
@@ -121,11 +121,11 @@ void Anuc::advance(const FdValue& d, std::vector<Outgoing>& out) {
       if (!lead) return;
       history_.import(lead->h);  // line 17, before the distrust check
       if (!distrusts(leader)) x_ = lead->v;
-      ByteWriter w;
-      w.u8(kTagRep);
-      w.uvarint(static_cast<std::uint64_t>(round_));
-      w.svarint(x_);
-      broadcast(n_, w.take(), out);
+      scratch_.reset();
+      scratch_.u8(kTagRep);
+      scratch_.uvarint(static_cast<std::uint64_t>(round_));
+      scratch_.svarint(x_);
+      broadcast(n_, SharedBytes(scratch_.buffer()), out);
       phase_ = Phase::kAwaitReports;
       continue;
     }
@@ -143,12 +143,12 @@ void Anuc::advance(const FdValue& d, std::vector<Outgoing>& out) {
       const Value first = *msgs.rep[q.min()];
       for (Pid member : q) unanimous = unanimous && (*msgs.rep[member] == first);
 
-      ByteWriter w;
-      w.u8(kTagProp);
-      w.uvarint(static_cast<std::uint64_t>(round_));
-      w.svarint(unanimous ? first : kQuestion);
-      history_.encode(w);
-      broadcast(n_, w.take(), out);
+      scratch_.reset();
+      scratch_.u8(kTagProp);
+      scratch_.uvarint(static_cast<std::uint64_t>(round_));
+      scratch_.svarint(unanimous ? first : kQuestion);
+      history_.encode(scratch_);
+      broadcast(n_, SharedBytes(scratch_.buffer()), out);
       phase_ = Phase::kAwaitProposals;
       continue;
     }
@@ -195,10 +195,11 @@ void Anuc::advance(const FdValue& d, std::vector<Outgoing>& out) {
     SawState& mutable_state = saw_[q.mask()];
     if (!mutable_state.sent) {
       mutable_state.sent = true;
-      ByteWriter w;
-      w.u8(kTagSaw);
-      w.process_set(q);
-      const Bytes payload = w.take();
+      scratch_.reset();
+      scratch_.u8(kTagSaw);
+      scratch_.process_set(q);
+      // One sealed buffer shared across the quorum multicast.
+      const SharedBytes payload(scratch_.buffer());
       for (Pid member : q) out.push_back({member, payload});
     }
 

@@ -110,6 +110,10 @@ class Anuc final : public ConsensusAutomaton {
   std::map<int, RoundMsgs> inbox_;
   std::map<std::uint64_t, SawState> saw_;
 
+  /// Encode scratch: reset before each message build, so steady-state
+  /// encoding reuses one grown buffer instead of allocating per send.
+  ByteWriter scratch_;
+
   std::int64_t distrust_calls_ = 0;
   std::int64_t distrust_hits_ = 0;
 };

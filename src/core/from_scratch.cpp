@@ -19,15 +19,14 @@ void FromScratchConsensus::step_component(Automaton& component,
                                           const Incoming* in, const FdValue& d,
                                           std::uint8_t channel,
                                           std::vector<Outgoing>& out) {
-  std::vector<Outgoing> sends;
-  component.step(in, d, sends);
-  for (Outgoing& o : sends) {
-    Bytes framed;
-    framed.reserve(o.payload.size() + 1);
-    framed.push_back(channel);
-    framed.insert(framed.end(), o.payload.begin(), o.payload.end());
-    out.push_back({o.to, std::move(framed)});
-  }
+  component_sends_.clear();
+  component.step(in, d, component_sends_);
+  reframe_sends(component_sends_, frame_scratch_,
+                [channel](ByteWriter& w, const Bytes& payload) {
+                  w.u8(channel);
+                  w.raw(payload);
+                },
+                out);
 }
 
 void FromScratchConsensus::step(const Incoming* in, const FdValue& d,
@@ -36,12 +35,11 @@ void FromScratchConsensus::step(const Incoming* in, const FdValue& d,
 
   const Incoming* routed[3] = {nullptr, nullptr, nullptr};
   Incoming inner;
-  Bytes inner_payload;
   if (in != nullptr && !in->payload->empty()) {
     const std::uint8_t channel = in->payload->front();
     if (channel <= kChannelConsensus) {
-      inner_payload.assign(in->payload->begin() + 1, in->payload->end());
-      inner = Incoming{in->from, &inner_payload};
+      demux_.assign(in->payload->begin() + 1, in->payload->end());
+      inner = Incoming{in->from, &demux_};
       routed[channel] = &inner;
     }
   }

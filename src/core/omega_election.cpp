@@ -13,6 +13,9 @@ OmegaElection::OmegaElection(Pid self, Pid n, OmegaElectionOptions opts)
   }
   last_heartbeat_.assign(static_cast<std::size_t>(n), 0);
   timeout_.assign(static_cast<std::size_t>(n), opts_.initial_timeout);
+  ByteWriter w;
+  w.u8(1);
+  heartbeat_ = SharedBytes(w.take());
 }
 
 void OmegaElection::refresh(Pid q) {
@@ -39,11 +42,9 @@ void OmegaElection::step(const Incoming* in, const FdValue& d,
   }
 
   if (own_steps_ % opts_.heartbeat_every == 0) {
-    ByteWriter w;
-    w.u8(1);
-    const Bytes hb = w.take();
+    SharedBytes::counters().broadcasts += 1;
     for (Pid q = 0; q < n_; ++q) {
-      if (q != self_) out.push_back({q, hb});
+      if (q != self_) out.push_back({q, heartbeat_});
     }
   }
 

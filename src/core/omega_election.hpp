@@ -67,6 +67,10 @@ class OmegaElection final : public Automaton, public EmulatedFd {
   ProcessSet suspected_;
   Pid leader_;
   std::int64_t false_suspicions_ = 0;
+
+  /// The heartbeat payload is constant; sealed once at construction and
+  /// shared across every broadcast thereafter.
+  SharedBytes heartbeat_;
 };
 
 [[nodiscard]] AutomatonFactory make_omega_election(

@@ -12,9 +12,9 @@ SigmaFromMajority::SigmaFromMajority(Pid self, Pid n, Pid t)
 void SigmaFromMajority::begin_round(std::vector<Outgoing>& out) {
   heard_.erase(round_);
   ++round_;
-  ByteWriter w;
-  w.uvarint(static_cast<std::uint64_t>(round_));
-  broadcast(n_, w.take(), out);
+  scratch_.reset();
+  scratch_.uvarint(static_cast<std::uint64_t>(round_));
+  broadcast(n_, SharedBytes(scratch_.buffer()), out);
 }
 
 void SigmaFromMajority::step(const Incoming* in, const FdValue& d,

@@ -48,6 +48,10 @@ class SigmaFromMajority final : public Automaton, public EmulatedFd {
   std::map<int, ProcessSet> heard_;
   ProcessSet output_;  // initially Pi
   std::int64_t emitted_ = 0;
+
+  /// Encode scratch: reset before each round tag, so steady-state encoding
+  /// reuses one grown buffer instead of allocating per broadcast.
+  ByteWriter scratch_;
 };
 
 [[nodiscard]] AutomatonFactory make_sigma_from_majority(Pid n, Pid t);

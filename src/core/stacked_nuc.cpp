@@ -14,15 +14,14 @@ StackedNuc::StackedNuc(Pid self, Value proposal, Pid n, int gossip_every)
 void StackedNuc::step_component(Automaton& component, const Incoming* in,
                                 const FdValue& d, std::uint8_t channel,
                                 std::vector<Outgoing>& out) {
-  std::vector<Outgoing> sends;
-  component.step(in, d, sends);
-  for (Outgoing& o : sends) {
-    Bytes framed;
-    framed.reserve(o.payload.size() + 1);
-    framed.push_back(channel);
-    framed.insert(framed.end(), o.payload.begin(), o.payload.end());
-    out.push_back({o.to, std::move(framed)});
-  }
+  component_sends_.clear();
+  component.step(in, d, component_sends_);
+  reframe_sends(component_sends_, frame_scratch_,
+                [channel](ByteWriter& w, const Bytes& payload) {
+                  w.u8(channel);
+                  w.raw(payload);
+                },
+                out);
 }
 
 void StackedNuc::step(const Incoming* in, const FdValue& d,
@@ -31,11 +30,10 @@ void StackedNuc::step(const Incoming* in, const FdValue& d,
   const Incoming* for_transform = nullptr;
   const Incoming* for_consensus = nullptr;
   Incoming inner;
-  Bytes inner_payload;
   if (in != nullptr && !in->payload->empty()) {
     const std::uint8_t channel = in->payload->front();
-    inner_payload.assign(in->payload->begin() + 1, in->payload->end());
-    inner = Incoming{in->from, &inner_payload};
+    demux_.assign(in->payload->begin() + 1, in->payload->end());
+    inner = Incoming{in->from, &demux_};
     if (channel == kChannelTransform) {
       for_transform = &inner;
     } else if (channel == kChannelConsensus) {

@@ -42,12 +42,19 @@ class StackedNuc final : public ConsensusAutomaton {
 
  private:
   /// Runs one sub-automaton step and wraps its sends with `channel`.
-  static void step_component(Automaton& component, const Incoming* in,
-                             const FdValue& d, std::uint8_t channel,
-                             std::vector<Outgoing>& out);
+  void step_component(Automaton& component, const Incoming* in,
+                      const FdValue& d, std::uint8_t channel,
+                      std::vector<Outgoing>& out);
 
   SigmaNuToPlus transform_;
   Anuc consensus_;
+
+  /// Reused per-step scratch: the component's raw sends, the framing
+  /// writer (each distinct broadcast payload framed once and re-shared),
+  /// and the demultiplexed inner payload of the received message.
+  std::vector<Outgoing> component_sends_;
+  ByteWriter frame_scratch_;
+  Bytes demux_;
 };
 
 [[nodiscard]] ConsensusFactory make_stacked_nuc(Pid n, int gossip_every = 0);

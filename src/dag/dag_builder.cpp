@@ -15,8 +15,9 @@ NodeRef DagCore::on_step(const Incoming* in, const FdValue& d) {
   return dag_.take_sample(self_, d);
 }
 
-void gossip_to_others(Pid self, Pid n, const Bytes& payload,
+void gossip_to_others(Pid self, Pid n, SharedBytes payload,
                       std::vector<Outgoing>& out) {
+  SharedBytes::counters().broadcasts += 1;
   for (Pid q = 0; q < n; ++q) {
     if (q != self) out.push_back({q, payload});
   }

@@ -40,8 +40,9 @@ class DagCore {
 /// Sends the gossip payload to every process except the sender (the
 /// paper's "send to every process" includes the sender, but self-delivery
 /// of a DAG already merged is a no-op, and skipping it halves queue
-/// pressure in two-process systems).
-void gossip_to_others(Pid self, Pid n, const Bytes& payload,
+/// pressure in two-process systems). The DAG — the heaviest payload in the
+/// library — is serialized once and shared n-1 ways.
+void gossip_to_others(Pid self, Pid n, SharedBytes payload,
                       std::vector<Outgoing>& out);
 
 /// Gossip cadence for DAG-building automata. The paper's listing gossips

@@ -385,6 +385,9 @@ std::vector<Value> proposals_of(const SweepPoint& pt) {
 
 ConsensusRunStats run_point(const SweepPoint& pt) {
   PointSetup setup(pt);
+  // Sweep jobs fold into summary stats; nobody reads the StepRecord
+  // vector, so skip growing it. simulate_point/trace_point keep recording.
+  setup.opts.record_run = false;
   return run_consensus(setup.fp, *setup.oracle.top, setup.make,
                        setup.proposals, setup.opts);
 }
@@ -488,6 +491,9 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& points) const {
   result.fold_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - fold_started)
                             .count();
+  if (result.wall_seconds > 0.0) {
+    result.steps_per_second = agg.steps.sum() / result.wall_seconds;
+  }
   if (!report_path_.empty()) write_runner_report(result, report_path_);
   return result;
 }

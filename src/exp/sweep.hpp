@@ -143,6 +143,11 @@ struct SweepResult {
   /// Wall-clock of the serial fold phase, including failure-trace
   /// attachment (not deterministic either).
   double fold_seconds = 0.0;
+  /// Simulation throughput of the parallel phase: total simulated steps
+  /// across all jobs divided by wall_seconds. Derived from wall-clock, so
+  /// like the fields above it never enters the aggregate and is emitted in
+  /// reports only alongside the other timing fields.
+  double steps_per_second = 0.0;
 };
 
 class SweepRunner {

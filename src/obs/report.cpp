@@ -96,7 +96,8 @@ std::string sweep_section_json(const SweepSection& s, bool include_timings) {
   }
   os << "]";
   if (include_timings) {
-    os << ",\"wall_seconds\":" << double_json(s.wall_seconds);
+    os << ",\"wall_seconds\":" << double_json(s.wall_seconds)
+       << ",\"steps_per_second\":" << double_json(s.steps_per_second);
   }
   os << "}";
   return os.str();
@@ -127,6 +128,7 @@ SweepSection section_of(std::string name, std::string spec,
   s.failure_trace_paths = agg.failure_trace_paths;
   s.failure_trace_paths.resize(s.failure_artifacts.size());
   s.wall_seconds = result.wall_seconds;
+  s.steps_per_second = result.steps_per_second;
   return s;
 }
 

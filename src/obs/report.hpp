@@ -56,6 +56,9 @@ struct SweepSection {
 
   /// Nondeterministic; emitted only with include_timings.
   double wall_seconds = 0.0;
+  /// Simulated steps per wall-clock second of the parallel phase.
+  /// Nondeterministic like wall_seconds; emitted only with include_timings.
+  double steps_per_second = 0.0;
 };
 
 /// One experiment table, exactly as the bench printed it.

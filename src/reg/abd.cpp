@@ -40,13 +40,13 @@ void AbdRegister::on_message(Pid from, const Bytes& payload,
   switch (*tag) {
     case kTagReadQuery: {
       if (!r.done()) return;
-      ByteWriter w;
-      encode_tagged(w, kTagReadReply, *opid);
-      w.uvarint(static_cast<std::uint64_t>(tag_.ts));
-      w.pid(tag_.writer < 0 ? 0 : tag_.writer);
-      w.u8(tag_.writer < 0);
-      w.svarint(value_);
-      out.push_back({from, w.take()});
+      scratch_.reset();
+      encode_tagged(scratch_, kTagReadReply, *opid);
+      scratch_.uvarint(static_cast<std::uint64_t>(tag_.ts));
+      scratch_.pid(tag_.writer < 0 ? 0 : tag_.writer);
+      scratch_.u8(tag_.writer < 0);
+      scratch_.svarint(value_);
+      out.push_back({from, SharedBytes(scratch_.buffer())});
       break;
     }
     case kTagReadReply: {
@@ -75,9 +75,9 @@ void AbdRegister::on_message(Pid from, const Bytes& payload,
         tag_ = incoming;
         value_ = *value;
       }
-      ByteWriter w;
-      encode_tagged(w, kTagWriteAck, *opid);
-      out.push_back({from, w.take()});
+      scratch_.reset();
+      encode_tagged(scratch_, kTagWriteAck, *opid);
+      out.push_back({from, SharedBytes(scratch_.buffer())});
       break;
     }
     case kTagWriteAck:
@@ -93,7 +93,8 @@ void AbdRegister::on_message(Pid from, const Bytes& payload,
 void AbdRegister::begin_phase(std::vector<Outgoing>& out) {
   pending_.opid = ++opid_counter_;
   pending_.replied = ProcessSet{};
-  ByteWriter w;
+  scratch_.reset();
+  ByteWriter& w = scratch_;
   if (pending_.phase == 1) {
     encode_tagged(w, kTagReadQuery, pending_.opid);
   } else {
@@ -111,7 +112,7 @@ void AbdRegister::begin_phase(std::vector<Outgoing>& out) {
     w.pid(install.writer < 0 ? 0 : install.writer);
     w.svarint(install_value);
   }
-  broadcast(n_, w.take(), out);
+  broadcast(n_, SharedBytes(w.buffer()), out);
 }
 
 void AbdRegister::advance(const FdValue& d, std::vector<Outgoing>& out) {

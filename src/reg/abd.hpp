@@ -120,6 +120,10 @@ class AbdRegister final : public Automaton {
   std::uint64_t opid_counter_ = 0;
   std::int64_t own_steps_ = 0;
   std::vector<RegOpRecord> completed_;
+
+  /// Encode scratch: reset before each message build, so steady-state
+  /// encoding reuses one grown buffer instead of allocating per send.
+  ByteWriter scratch_;
 };
 
 /// Factory: process p runs workloads[p].

@@ -17,6 +17,7 @@
 #include "util/bytes.hpp"
 #include "util/fd_value.hpp"
 #include "util/process_set.hpp"
+#include "util/shared_bytes.hpp"
 
 namespace nucon {
 
@@ -26,10 +27,12 @@ struct Incoming {
   const Bytes* payload = nullptr;
 };
 
-/// A message an automaton asks to send during a step.
+/// A message an automaton asks to send during a step. The payload is
+/// refcounted: a broadcast enqueues n shares of one sealed buffer instead
+/// of n copies (util/shared_bytes.hpp).
 struct Outgoing {
   Pid to = -1;
-  Bytes payload;
+  SharedBytes payload;
 };
 
 class Automaton {
@@ -74,9 +77,35 @@ using ConsensusFactory = std::function<std::unique_ptr<ConsensusAutomaton>(
 
 /// Helper: broadcast `payload` to every process in [0, n), including the
 /// sender (a self-addressed message through the buffer models the paper's
-/// "send to all" convention).
-inline void broadcast(Pid n, const Bytes& payload, std::vector<Outgoing>& out) {
+/// "send to all" convention). The payload is sealed once; each recipient
+/// gets a share, not a copy.
+inline void broadcast(Pid n, SharedBytes payload, std::vector<Outgoing>& out) {
+  SharedBytes::counters().broadcasts += 1;
   for (Pid q = 0; q < n; ++q) out.push_back({q, payload});
+}
+
+/// Helper for multiplexing automata (StackedNuc, FromScratchConsensus,
+/// ReplicatedLog): re-emits a component's sends, each payload re-encoded
+/// by `write_frame(ByteWriter&, const Bytes& payload)` (typically a
+/// channel byte or instance header plus the payload). Shares of one
+/// broadcast payload (same buffer identity) are framed once and the frame
+/// re-shared, so framing does not undo the broadcast's copy elision;
+/// `scratch` only grows, so steady-state framing does not allocate for
+/// the encode itself.
+template <typename WriteFrame>
+void reframe_sends(std::vector<Outgoing>& sends, ByteWriter& scratch,
+                   WriteFrame&& write_frame, std::vector<Outgoing>& out) {
+  const Bytes* last_raw = nullptr;
+  SharedBytes framed;
+  for (Outgoing& o : sends) {
+    if (last_raw == nullptr || o.payload.raw() != last_raw) {
+      scratch.reset();
+      write_frame(scratch, o.payload.get());
+      last_raw = o.payload.raw();
+      framed = SharedBytes(scratch.buffer());
+    }
+    out.push_back({o.to, framed});
+  }
 }
 
 }  // namespace nucon

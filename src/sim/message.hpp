@@ -13,6 +13,7 @@
 #include "sim/failure_pattern.hpp"
 #include "util/bytes.hpp"
 #include "util/process_set.hpp"
+#include "util/shared_bytes.hpp"
 
 namespace nucon {
 
@@ -28,7 +29,8 @@ struct MsgId {
 struct Message {
   MsgId id;
   Pid to = -1;
-  Bytes payload;
+  /// Refcounted: the n messages of one broadcast share one sealed buffer.
+  SharedBytes payload;
   Time sent_at = 0;
 };
 

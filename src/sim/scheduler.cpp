@@ -26,14 +26,19 @@ std::optional<Delivery> choose_delivery(const MessageBuffer& buffer, Pid p,
   if (pending == 0) return std::nullopt;
 
   // Fairness backstop (admissibility property (7)): stale messages are
-  // delivered oldest-first no matter what the random policy says.
-  const auto oldest = buffer.oldest_sent_at(p);
-  if (oldest && now - *oldest > opts.max_message_age) {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < pending; ++i) {
-      if (buffer.peek(p, i).sent_at < buffer.peek(p, best).sent_at) best = i;
-    }
-    return Delivery{best, /*forced=*/true, /*shuffled=*/false};
+  // delivered oldest-first no matter what the random policy says. The
+  // scheduler stamps sent_at with the global clock and each per-destination
+  // queue is FIFO, so the queue head IS the oldest pending message — no
+  // scan needed (the checked invariant below).
+  const Time oldest = buffer.peek(p, 0).sent_at;
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < pending; ++i) {
+    assert(buffer.peek(p, i).sent_at >= oldest &&
+           "scheduler queues must be FIFO in sent_at order");
+  }
+#endif
+  if (now - oldest > opts.max_message_age) {
+    return Delivery{0, /*forced=*/true, /*shuffled=*/false};
   }
 
   if (rng.chance(static_cast<std::uint64_t>(opts.lambda_percent), 100)) {
@@ -122,7 +127,7 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
       rec.d = d;
       rec.t = now;
       if (msg) rec.received = msg->id;
-      result.run.steps.push_back(rec);
+      if (opts.record_run) result.run.steps.push_back(rec);
 
       ++m_steps;
       NUCON_TRACE(opts.trace, on_step(rec));
@@ -139,7 +144,7 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
 
       sends.clear();
       if (msg) {
-        const Incoming in{msg->id.sender, &msg->payload};
+        const Incoming in{msg->id.sender, &msg->payload.get()};
         result.automata[static_cast<std::size_t>(p)]->step(&in, d, sends);
       } else {
         result.automata[static_cast<std::size_t>(p)]->step(nullptr, d, sends);
@@ -151,7 +156,7 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
         m.id = MsgId{p, ++send_seq[static_cast<std::size_t>(p)]};
         m.to = o.to;
         m.sent_at = now;
-        m.payload = std::move(o.payload);
+        m.payload = std::move(o.payload);  // moves the share, not the bytes
         result.bytes_sent += m.payload.size();
         ++result.messages_sent;
         ++m_sends;
@@ -197,6 +202,7 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
     if (!anyone_stepped) break;
   }
 
+  result.steps_taken = static_cast<std::size_t>(steps_taken);
   result.end_time = now;
   result.undelivered_at_end = buffer.total_pending();
   metrics.counter("scheduler.end_time") = now;

@@ -40,6 +40,14 @@ struct SchedulerOptions {
   /// process is older than this many ticks, it is delivered unconditionally.
   Time max_message_age = 64;
 
+  /// Record the schedule (one StepRecord per step) into SimResult::run.
+  /// Defaults on — replay, merging and the exploration tools all read it —
+  /// but sweep workers turn it off: a sweep cell folds a run to counters
+  /// and never reads the steps, so recording only grows a multi-thousand-
+  /// entry vector per job. Off, the returned Run has an empty schedule;
+  /// everything else (verdicts, metrics, traces, on_step) is unaffected.
+  bool record_run = true;
+
   /// If nonempty, only these processes are scheduled. Used to produce the
   /// finite partial runs of the partition argument and the Lemma 2.2
   /// merging tests; such runs are not admissible (and need not be).
@@ -67,6 +75,10 @@ struct SimResult {
 
   Run run;
   std::vector<std::unique_ptr<Automaton>> automata;
+
+  /// Steps actually executed; equals run.steps.size() when the schedule
+  /// was recorded, and stays valid when record_run is off.
+  std::size_t steps_taken = 0;
 
   Time end_time = 0;
   bool stopped_by_predicate = false;

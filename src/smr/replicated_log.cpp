@@ -14,14 +14,6 @@ constexpr std::uint8_t kFrameSubmit = 2;
 /// are skipped by clients and permitted by the checker.
 constexpr Value kNoop = 0;
 
-Bytes frame_inner(int instance, const Bytes& payload) {
-  ByteWriter w;
-  w.u8(kFrameInner);
-  w.uvarint(static_cast<std::uint64_t>(instance));
-  w.bytes(payload);
-  return w.take();
-}
-
 Bytes frame_decided(int instance, Value v) {
   ByteWriter w;
   w.u8(kFrameDecided);
@@ -97,14 +89,11 @@ void ReplicatedLog::open_instance(std::vector<Outgoing>& out) {
     // Feed messages that arrived for this instance before we opened it.
     const auto it = future_.find(instance_);
     if (it != future_.end()) {
-      std::vector<Outgoing> sends;
       for (const auto& [from, payload] : it->second) {
-        sends.clear();
+        instance_sends_.clear();
         const Incoming in{from, &payload};
-        current_->step(&in, FdValue{}, sends);
-        for (Outgoing& o : sends) {
-          out.push_back({o.to, frame_inner(instance_, o.payload)});
-        }
+        current_->step(&in, FdValue{}, instance_sends_);
+        frame_instance_sends(instance_, out);
       }
       future_.erase(it);
     }
@@ -114,11 +103,19 @@ void ReplicatedLog::open_instance(std::vector<Outgoing>& out) {
 
 void ReplicatedLog::step_instance(const Incoming* in, const FdValue& d,
                                   std::vector<Outgoing>& out) {
-  std::vector<Outgoing> sends;
-  current_->step(in, d, sends);
-  for (Outgoing& o : sends) {
-    out.push_back({o.to, frame_inner(instance_, o.payload)});
-  }
+  instance_sends_.clear();
+  current_->step(in, d, instance_sends_);
+  frame_instance_sends(instance_, out);
+}
+
+void ReplicatedLog::frame_instance_sends(int k, std::vector<Outgoing>& out) {
+  reframe_sends(instance_sends_, frame_scratch_,
+                [k](ByteWriter& w, const Bytes& payload) {
+                  w.u8(kFrameInner);
+                  w.uvarint(static_cast<std::uint64_t>(k));
+                  w.bytes(payload);
+                },
+                out);
 }
 
 void ReplicatedLog::step(const Incoming* in, const FdValue& d,
@@ -174,12 +171,10 @@ void ReplicatedLog::step(const Incoming* in, const FdValue& d,
               // No-catch-up mode: the retired instance keeps serving,
               // driven by the laggard's traffic and this step's real
               // detector value.
-              std::vector<Outgoing> sends;
+              instance_sends_.clear();
               const Incoming old{in->from, &*payload};
-              retired->second->step(&old, d, sends);
-              for (Outgoing& o : sends) {
-                out.push_back({o.to, frame_inner(k, o.payload)});
-              }
+              retired->second->step(&old, d, instance_sends_);
+              frame_instance_sends(k, out);
             }
           }
         } else if (*type == kFrameDecided && trust_decided_catchup_) {

@@ -74,6 +74,9 @@ class ReplicatedLog final : public Automaton {
   /// Runs one step of the current instance's automaton, wrapping sends.
   void step_instance(const Incoming* in, const FdValue& d,
                      std::vector<Outgoing>& out);
+  /// Frames instance_sends_ with instance id `k` into `out`, framing each
+  /// distinct broadcast payload once and re-sharing the frame.
+  void frame_instance_sends(int k, std::vector<Outgoing>& out);
   /// The smallest known command not yet committed, or the no-op.
   [[nodiscard]] Value next_proposal() const;
 
@@ -96,6 +99,11 @@ class ReplicatedLog final : public Automaton {
   std::map<int, Value> decided_cache_;
   /// Finished instances kept alive to serve laggards (no-catch-up mode).
   std::map<int, std::unique_ptr<ConsensusAutomaton>> retired_;
+
+  /// Reused per-step scratch: the inner engine's raw sends and the framing
+  /// writer (see frame_instance_sends).
+  std::vector<Outgoing> instance_sends_;
+  ByteWriter frame_scratch_;
 };
 
 /// Encodes (client, seq) as a globally unique command value.

@@ -59,8 +59,19 @@ class ByteWriter {
     out_.insert(out_.end(), b.begin(), b.end());
   }
 
+  /// Appends the bytes verbatim, no length prefix (framing protocols that
+  /// delimit by "rest of the message").
+  void raw(const Bytes& b) { out_.insert(out_.end(), b.begin(), b.end()); }
+
   [[nodiscard]] Bytes take() { return std::move(out_); }
   [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+  /// Reuse mode: drops the content but keeps the capacity, so a writer
+  /// held across encodes (a per-automaton scratch writer) stops allocating
+  /// once it has grown to the steady-state message size. Pair with
+  /// buffer() to read the encoding without taking ownership.
+  void reset() { out_.clear(); }
+  [[nodiscard]] const Bytes& buffer() const { return out_; }
 
  private:
   Bytes out_;
@@ -121,8 +132,11 @@ class ByteReader {
   }
 
   [[nodiscard]] std::optional<std::string> str() {
+    // Compare against the remaining space, never `pos_ + *len`: a huge
+    // declared length would wrap the addition and pass the bounds check,
+    // turning a malformed message into an out-of-bounds read.
     const auto len = uvarint();
-    if (!len || pos_ + *len > size_) return std::nullopt;
+    if (!len || *len > size_ - pos_) return std::nullopt;
     std::string s(reinterpret_cast<const char*>(data_ + pos_), *len);
     pos_ += *len;
     return s;
@@ -130,7 +144,7 @@ class ByteReader {
 
   [[nodiscard]] std::optional<Bytes> bytes() {
     const auto len = uvarint();
-    if (!len || pos_ + *len > size_) return std::nullopt;
+    if (!len || *len > size_ - pos_) return std::nullopt;
     Bytes b(data_ + pos_, data_ + pos_ + *len);
     pos_ += *len;
     return b;

@@ -1,0 +1,123 @@
+// Refcounted immutable payloads for the simulated network.
+//
+// A broadcast used to copy its encoded payload once per destination; with
+// n processes that is n-1 redundant copies of buffers that are never
+// mutated after encoding. SharedBytes wraps the encoded Bytes in a
+// shared_ptr<const Bytes>, so a broadcast enqueues n refcount bumps
+// instead of n buffer copies while receivers still observe a plain
+// `const Bytes&` (payload immutability is what makes the sharing sound:
+// the simulator treats every in-flight payload as sealed at send time).
+//
+// The class also keeps thread-local byte accounting (PayloadCounters) so
+// the scheduler and bench_hotpath can report, per run, how many payload
+// bytes were deep-copied versus merely shared — the counter behind the
+// "bytes copied per broadcast" regression check. Thread-local (not
+// atomic-global) keeps the counters deterministic per run: each sweep job
+// executes wholly on one worker thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace nucon {
+
+/// Byte accounting for payload creation and fan-out (thread-local; see
+/// SharedBytes::counters()). All fields only ever increase; callers
+/// snapshot-and-subtract to scope them to one run.
+struct PayloadCounters {
+  std::uint64_t payloads = 0;      ///< payload buffers created (move or copy)
+  std::uint64_t payload_bytes = 0; ///< bytes in those buffers
+  std::uint64_t copied_bytes = 0;  ///< bytes deep-copied into a payload
+  std::uint64_t shares = 0;        ///< refcount shares (would-be copies)
+  std::uint64_t shared_bytes = 0;  ///< bytes covered by those shares
+  std::uint64_t broadcasts = 0;    ///< broadcast()/gossip_to_others() calls
+
+  friend PayloadCounters operator-(PayloadCounters a,
+                                   const PayloadCounters& b) {
+    a.payloads -= b.payloads;
+    a.payload_bytes -= b.payload_bytes;
+    a.copied_bytes -= b.copied_bytes;
+    a.shares -= b.shares;
+    a.shared_bytes -= b.shared_bytes;
+    a.broadcasts -= b.broadcasts;
+    return a;
+  }
+};
+
+/// An immutable, refcounted payload. Copying shares the buffer (cheap,
+/// counted as `shares`); the content is sealed at construction.
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+
+  /// Seals a freshly encoded buffer (typically `writer.take()`); moves,
+  /// never copies. Implicit so the many `{to, w.take()}` send sites keep
+  /// reading as plain value construction.
+  SharedBytes(Bytes&& b)  // NOLINT(google-explicit-constructor)
+      : data_(std::make_shared<const Bytes>(std::move(b))) {
+    counters().payloads += 1;
+    counters().payload_bytes += data_->size();
+  }
+
+  /// Seals a copy of a buffer the caller keeps (a reused scratch writer's
+  /// buffer). Explicit because it is the one constructor that deep-copies,
+  /// and the copy is charged to `copied_bytes`.
+  explicit SharedBytes(const Bytes& b)
+      : data_(std::make_shared<const Bytes>(b)) {
+    counters().payloads += 1;
+    counters().payload_bytes += data_->size();
+    counters().copied_bytes += data_->size();
+  }
+
+  SharedBytes(const SharedBytes& other) : data_(other.data_) {
+    counters().shares += 1;
+    counters().shared_bytes += size();
+  }
+  SharedBytes& operator=(const SharedBytes& other) {
+    data_ = other.data_;
+    counters().shares += 1;
+    counters().shared_bytes += size();
+    return *this;
+  }
+  SharedBytes(SharedBytes&&) noexcept = default;
+  SharedBytes& operator=(SharedBytes&&) noexcept = default;
+
+  /// The payload content; a default-constructed SharedBytes reads as
+  /// empty. Stable for the lifetime of any share, so `&payload.get()` is
+  /// a valid `Incoming::payload`.
+  [[nodiscard]] const Bytes& get() const {
+    static const Bytes kEmpty;
+    return data_ ? *data_ : kEmpty;
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_ ? data_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Buffer identity (not content): two shares of one broadcast compare
+  /// equal, two separately encoded but equal payloads do not. Multiplexers
+  /// use this to frame a broadcast's payload once instead of per share.
+  [[nodiscard]] const Bytes* raw() const { return data_.get(); }
+
+  /// Content equality (tests).
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    return a.get() == b.get();
+  }
+  friend bool operator==(const SharedBytes& a, const Bytes& b) {
+    return a.get() == b;
+  }
+
+  /// The calling thread's payload accounting. Monotone; scope to a run by
+  /// snapshotting before and subtracting after.
+  [[nodiscard]] static PayloadCounters& counters() {
+    thread_local PayloadCounters c;
+    return c;
+  }
+
+ private:
+  std::shared_ptr<const Bytes> data_;
+};
+
+}  // namespace nucon

@@ -140,6 +140,56 @@ TEST(Bytes, TruncatedStringFails) {
   EXPECT_FALSE(r.str());
 }
 
+TEST(Bytes, HugeDeclaredLengthFails) {
+  // Regression: a declared length near 2^64 used to wrap the `pos_ + len`
+  // bounds check and pass it, turning a malformed message into an
+  // out-of-bounds read. The reader must compare against remaining space.
+  ByteWriter w;
+  w.uvarint(std::numeric_limits<std::uint64_t>::max());
+  w.u8('x');
+  const Bytes buf = w.take();
+  ByteReader rs(buf);
+  EXPECT_FALSE(rs.str());
+  ByteReader rb(buf);
+  EXPECT_FALSE(rb.bytes());
+}
+
+TEST(Bytes, DeclaredLengthJustPastEndFails) {
+  ByteWriter w;
+  w.uvarint(4);  // claims 4 payload bytes; only 3 follow
+  w.u8(1);
+  w.u8(2);
+  w.u8(3);
+  const Bytes buf = w.take();
+  ByteReader rb(buf);
+  EXPECT_FALSE(rb.bytes());
+  ByteReader rs(buf);
+  EXPECT_FALSE(rs.str());
+}
+
+TEST(Bytes, WriterResetReuse) {
+  ByteWriter w;
+  w.uvarint(300);
+  w.str("abc");
+  const Bytes first = w.buffer();
+  EXPECT_EQ(first.size(), w.size());
+
+  w.reset();
+  EXPECT_EQ(w.size(), 0u);
+  w.uvarint(300);
+  w.str("abc");
+  EXPECT_EQ(w.buffer(), first);  // reuse reproduces the encoding exactly
+}
+
+TEST(Bytes, WriterRawAppendsVerbatim) {
+  ByteWriter inner;
+  inner.u8(0xaa);
+  inner.u8(0xbb);
+  ByteWriter w;
+  w.raw(inner.buffer());
+  EXPECT_EQ(w.buffer(), (Bytes{0xaa, 0xbb}));  // no length prefix
+}
+
 TEST(Bytes, EmptyReaderIsDone) {
   Bytes empty;
   ByteReader r(empty);

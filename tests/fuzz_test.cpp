@@ -122,7 +122,7 @@ TEST(Fuzz, CrossProtocolTrafficIsTolerated) {
     const auto a = factory(0);
     std::vector<Outgoing> out;
     for (int i = 0; i < 8; ++i) a->step(nullptr, d, out);
-    for (const Outgoing& o : out) harvested.push_back(o.payload);
+    for (const Outgoing& o : out) harvested.push_back(o.payload.get());
   }
   ASSERT_FALSE(harvested.empty());
 

@@ -10,7 +10,7 @@ Message make_msg(Pid from, std::uint64_t seq, Pid to, Time sent_at) {
   m.id = MsgId{from, seq};
   m.to = to;
   m.sent_at = sent_at;
-  m.payload = {static_cast<std::uint8_t>(seq)};
+  m.payload = Bytes{static_cast<std::uint8_t>(seq)};
   return m;
 }
 
@@ -83,9 +83,43 @@ TEST(MessageBuffer, OldestSentAt) {
 TEST(MessageBuffer, PayloadPreserved) {
   MessageBuffer b;
   Message m = make_msg(3, 9, 0, 1);
-  m.payload = {1, 2, 3, 4};
+  m.payload = Bytes{1, 2, 3, 4};
   b.add(std::move(m));
   EXPECT_EQ(b.take(0, 0).payload, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(MessageBuffer, SharedPayloadAcrossDestinations) {
+  // One broadcast payload queued for three destinations: the buffer holds
+  // refcount shares of a single sealed buffer, never deep copies, and
+  // every removal hands back the same underlying bytes.
+  ByteWriter w;
+  w.str("broadcast");
+  const SharedBytes payload(w.buffer());  // the one sealed copy
+  const PayloadCounters before = SharedBytes::counters();
+
+  MessageBuffer b;
+  for (Pid to = 0; to < 3; ++to) {
+    Message m;
+    m.id = MsgId{3, static_cast<std::uint64_t>(to) + 1};
+    m.to = to;
+    m.sent_at = 5 + to;
+    m.payload = payload;
+    b.add(std::move(m));
+  }
+  const PayloadCounters c = SharedBytes::counters() - before;
+  EXPECT_EQ(c.copied_bytes, 0u);  // fan-out is shares, not copies
+  EXPECT_GE(c.shares, 3u);
+
+  EXPECT_EQ(b.total_pending(), 3u);
+  EXPECT_EQ(b.oldest_sent_at(1), 6);
+  const Message m0 = b.take(0, 0);
+  EXPECT_EQ(m0.payload.raw(), payload.raw());  // buffer identity preserved
+  const auto m2 = b.take_by_id(2, MsgId{3, 3});
+  ASSERT_TRUE(m2);
+  EXPECT_EQ(m2->payload.raw(), payload.raw());
+  EXPECT_EQ(m2->payload, payload);
+  EXPECT_EQ(b.pending_for(1), 1u);
+  EXPECT_EQ(b.take(1, 0).sent_at, 6);
 }
 
 }  // namespace

@@ -86,7 +86,7 @@ class ManualSim {
     }
     std::vector<Outgoing> sends;
     if (msg) {
-      const Incoming in{msg->id.sender, &msg->payload};
+      const Incoming in{msg->id.sender, &msg->payload.get()};
       automata_[static_cast<std::size_t>(p)]->step(&in, d, sends);
     } else {
       automata_[static_cast<std::size_t>(p)]->step(nullptr, d, sends);
