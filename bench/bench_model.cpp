@@ -1,9 +1,18 @@
-// Experiment E10 plus substrate microbenchmarks.
+// Experiments E10, E16, E17 plus substrate microbenchmarks.
 //
 // E10 validates Lemma 2.2 at scale (merge random disjoint partial runs and
-// replay) and reports scheduler throughput; the microbenchmarks cover the
-// primitives everything else is built on (ProcessSet ops, varint codec,
-// replay).
+// replay); E16 is the bounded model-checking dichotomy at n=2; E17 measures
+// the incremental engine against the frozen replay-based baseline on the
+// n=3 reference space (both run to exhaustion, so they cover the identical
+// set of unique configurations and the unique-states/s ratio is the honest
+// speedup). The microbenchmarks cover the primitives everything else is
+// built on (ProcessSet ops, varint codec, replay).
+//
+// NUCON_MODEL_QUICK=1 shrinks E17 to the depth-8 slice of the same space
+// for CI (scripts/bench-quick.sh); the full run uses depth 12.
+#include <chrono>
+#include <cstdlib>
+
 #include "bench_util.hpp"
 #include "algo/mr_consensus.hpp"
 #include "check/model_checker.hpp"
@@ -12,6 +21,130 @@
 
 namespace nucon::bench {
 namespace {
+
+bool quick_grid() {
+  const char* v = std::getenv("NUCON_MODEL_QUICK");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// The n=3 reference history (the §6.3 contamination shape): processes 0
+/// and 1 share quorum {0,1} under leader 0, process 2 is partitioned
+/// behind {2} with itself as leader.
+FdValue split_quorum_fd(Pid p, int /*own_step*/) {
+  FdValue v =
+      FdValue::of_quorum(p < 2 ? ProcessSet{0, 1} : ProcessSet::single(2));
+  v.set_leader(p < 2 ? 0 : 2);
+  return v;
+}
+
+McOptions reference_config(int depth) {
+  McOptions o;
+  o.n = 3;
+  o.make = make_mr_fd_quorum(3);
+  o.proposals = {0, 0, 1};
+  o.fd = split_quorum_fd;
+  o.max_depth = depth;
+  o.max_states = 100'000'000;  // exhaustion, not budget, ends these runs
+  return o;
+}
+
+template <typename F>
+std::pair<McResult, double> timed(F&& run) {
+  const auto t0 = std::chrono::steady_clock::now();
+  McResult r = run();
+  const auto t1 = std::chrono::steady_clock::now();
+  return {std::move(r), std::chrono::duration<double>(t1 - t0).count()};
+}
+
+/// E17: the incremental/parallel/POR engine vs the frozen replay-based
+/// DFS baseline, both exhausting the n=3 reference space. The baseline's
+/// states_explored counts arrivals (its historical accounting), so its
+/// unique-state count is explored minus deduped; exhaustion makes the
+/// two engines' unique sets identical and the uniq/s ratio meaningful.
+void engine_speedup() {
+  const int depth = quick_grid() ? 8 : 12;
+  const McOptions o = reference_config(depth);
+
+  const auto [eng, eng_s] = timed([&] { return model_check_consensus(o); });
+  const auto [base, base_s] =
+      timed([&] { return model_check_consensus_replay_baseline(o); });
+
+  const auto base_unique = base.states_explored - base.states_deduped;
+  const double eng_rate = static_cast<double>(eng.states_explored) / eng_s;
+  const double base_rate = static_cast<double>(base_unique) / base_s;
+  const auto eng_arrivals = eng.states_explored + eng.states_deduped;
+
+  TextTable t({"engine", "depth", "unique_states", "arrivals", "peak",
+               "seconds", "states_per_sec", "speedup"});
+  t.add_row({"incremental+por", std::to_string(depth),
+             std::to_string(eng.states_explored),
+             std::to_string(eng_arrivals), std::to_string(eng.peak_depth),
+             TextTable::fmt(eng_s, 2), TextTable::fmt(eng_rate, 0),
+             TextTable::fmt(eng_rate / base_rate, 1) + "x"});
+  t.add_row({"replay baseline", std::to_string(depth),
+             std::to_string(base_unique),
+             std::to_string(base.states_explored),
+             std::to_string(base.peak_depth), TextTable::fmt(base_s, 2),
+             TextTable::fmt(base_rate, 0), "1.0x"});
+  print_section("E17: incremental engine vs replay-based DFS baseline", t);
+
+  // Where the speedup comes from, and the cross-checks that it changed
+  // nothing: identical unique-state coverage and verdict, POR pruning
+  // arrivals without touching the reached set, zero half-key collisions.
+  TextTable d({"metric", "value"});
+  d.add_row({"exhausted (engine/baseline)",
+             std::string(eng.exhausted ? "yes" : "NO") + " / " +
+                 (base.exhausted ? "yes" : "NO")});
+  d.add_row({"unique states agree",
+             eng.states_explored == base_unique ? "yes" : "NO"});
+  d.add_row({"verdicts agree",
+             eng.violation_found == base.violation_found ? "yes" : "NO"});
+  d.add_row({"dedup ratio (engine dupes/arrival)",
+             TextTable::fmt(static_cast<double>(eng.states_deduped) /
+                                static_cast<double>(eng_arrivals),
+                            3)});
+  d.add_row({"por pruned transitions", std::to_string(eng.por_skipped)});
+  d.add_row(
+      {"por prune ratio (pruned/(pruned+arrivals))",
+       TextTable::fmt(static_cast<double>(eng.por_skipped) /
+                          static_cast<double>(eng.por_skipped + eng_arrivals),
+                      3)});
+  d.add_row({"reexpanded (por/caching reconciliation)",
+             std::to_string(eng.states_reexpanded)});
+  d.add_row({"hash collisions (64-bit halves)",
+             std::to_string(eng.hash_collisions)});
+  print_section("E17: speedup anatomy", d);
+
+  report().timings["model:engine:seconds"] = eng_s;
+  report().timings["model:baseline:seconds"] = base_s;
+  report().timings["model:engine:states_per_sec"] = eng_rate;
+  report().timings["model:baseline:states_per_sec"] = base_rate;
+  report().timings["model:speedup"] = eng_rate / base_rate;
+
+  // Determinism contract on a violating slice of the same space: verdict,
+  // witness, and state counts bit-identical for 1 vs 8 threads and for
+  // POR on vs off (deduped/por counters differ under the reduction by
+  // design, so those two compare field-wise).
+  McOptions v = reference_config(quick_grid() ? 13 : 14);
+  v.max_states = quick_grid() ? 200'000 : 4'000'000;
+  const McResult serial = model_check_consensus(v);
+  v.threads = 8;
+  const McResult par = model_check_consensus(v);
+  v.threads = 1;
+  v.use_por = false;
+  const McResult nopor = model_check_consensus(v);
+  TextTable c({"check", "result"});
+  c.add_row({"1 vs 8 threads: McResult ==", serial == par ? "yes" : "NO"});
+  c.add_row({"por on/off: verdict+witness ==",
+             serial.violation_found == nopor.violation_found &&
+                     serial.violation == nopor.violation &&
+                     serial.witness == nopor.witness
+                 ? "yes"
+                 : "NO"});
+  c.add_row({"por on/off: states_explored ==",
+             serial.states_explored == nopor.states_explored ? "yes" : "NO"});
+  print_section("E17: determinism cross-checks", c);
+}
 
 void experiments() {
   // E10: Lemma 2.2 sweep — merge disjoint halves of a 6-process system
@@ -128,6 +261,8 @@ void experiments() {
         "exhaustive search",
         mc);
   }
+
+  engine_speedup();
 }
 
 void BM_ProcessSetIntersect(benchmark::State& state) {
@@ -202,4 +337,4 @@ BENCHMARK(BM_Replay);
 }  // namespace
 }  // namespace nucon::bench
 
-NUCON_BENCH_MAIN(nucon::bench::experiments, "E10")
+NUCON_BENCH_MAIN(nucon::bench::experiments, "model")

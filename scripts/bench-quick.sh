@@ -1,15 +1,20 @@
 #!/usr/bin/env sh
-# bench-quick: the scaled-down simulation-core throughput baseline.
+# bench-quick: the scaled-down throughput baselines.
 #
 # Builds and runs bench_hotpath with NUCON_HOTPATH_QUICK=1 (small seed
 # counts and step budgets), emitting build/BENCH_hotpath.json: steps/sec
 # and delivers/sec per registry algorithm, bytes-copied-per-broadcast for
 # the shared-payload regression check, and the sweep-engine throughput
-# section. See EXPERIMENTS.md "Throughput baseline".
+# section. Then runs bench_model with NUCON_MODEL_QUICK=1, emitting
+# build/BENCH_model.json: the incremental model-checking engine vs the
+# frozen replay-based DFS baseline on the depth-8 slice of the n=3
+# reference space, with the determinism cross-checks (the full depth-12
+# comparison runs when bench_model is invoked without the quick flag).
+# See EXPERIMENTS.md "Throughput baseline" and "Exhaustive model checking".
 #
 # Usage: scripts/bench-quick.sh   (from the repo root)
 set -e
 cd "$(dirname "$0")/.."
 cmake --preset default
 cmake --build --preset bench-quick
-echo "==> bench-quick: wrote build/BENCH_hotpath.json"
+echo "==> bench-quick: wrote build/BENCH_hotpath.json and build/BENCH_model.json"

@@ -5,11 +5,14 @@
 # carry one configure step, so the matrix lives here:
 #
 #   check-default   configure + build + the whole ctest suite (RelWithDebInfo)
-#   check-asan      configure + build + sweep/obs-labeled ctest under ASan/UBSan
-#   check-tsan      configure + build + sweep/obs-labeled ctest under TSan
+#   check-asan      configure + build + sweep/obs/mc-labeled ctest under ASan/UBSan
+#   check-tsan      configure + build + sweep/obs/mc-labeled ctest under TSan
 #
-# then runs the quick throughput baseline (scripts/bench-quick.sh) so a
-# perf regression in the simulation core shows up in the same pass.
+# (the mc label covers the model checker's parallel-frontier determinism
+# suite, the one worth re-running under the sanitizers), then runs the
+# quick throughput baselines (scripts/bench-quick.sh) so a perf regression
+# in the simulation core or the model-checking engine shows up in the
+# same pass.
 #
 # Usage: scripts/check-all.sh   (from the repo root)
 set -e

@@ -122,6 +122,84 @@ std::optional<Bytes> BenOr::snapshot() const {
   return w.take();
 }
 
+bool BenOr::save_state(ByteWriter& w) const {
+  // Complete state (snapshot() covers the registers only): the inbox and
+  // the coin tape position both drive future behavior.
+  w.svarint(x_);
+  w.uvarint(static_cast<std::uint64_t>(round_));
+  w.uvarint(static_cast<std::uint64_t>(decided_round_));
+  w.u8(static_cast<std::uint8_t>(phase_));
+  w.u8(decided_.has_value());
+  if (decided_) w.svarint(*decided_);
+  coin_.save(w);
+  w.svarint(coin_flips_);
+  w.uvarint(inbox_.size());
+  const auto slot = [&w, this](const std::optional<Value> (&arr)[kMaxProcesses]) {
+    for (Pid q = 0; q < n_; ++q) {
+      w.u8(arr[q].has_value());
+      if (arr[q]) w.svarint(*arr[q]);
+    }
+  };
+  for (const auto& [round, msgs] : inbox_) {
+    w.uvarint(static_cast<std::uint64_t>(round));
+    slot(msgs.report);
+    slot(msgs.proposal);
+  }
+  return true;
+}
+
+bool BenOr::restore_state(ByteReader& r) {
+  const auto x = r.svarint();
+  const auto round = r.uvarint();
+  const auto decided_round = r.uvarint();
+  const auto phase = r.u8();
+  const auto has_decided = r.u8();
+  if (!x || !round || !decided_round || !phase || *phase > 1 || !has_decided) {
+    return false;
+  }
+  std::optional<Value> decided;
+  if (*has_decided != 0) {
+    const auto v = r.svarint();
+    if (!v) return false;
+    decided = *v;
+  }
+  Rng coin(0);
+  if (!coin.restore(r)) return false;
+  const auto coin_flips = r.svarint();
+  const auto rounds = r.uvarint();
+  if (!coin_flips || !rounds) return false;
+
+  std::map<int, RoundMsgs> inbox;
+  const auto slot = [&r, this](std::optional<Value> (&arr)[kMaxProcesses]) {
+    for (Pid q = 0; q < n_; ++q) {
+      const auto has = r.u8();
+      if (!has) return false;
+      if (*has != 0) {
+        const auto v = r.svarint();
+        if (!v) return false;
+        arr[q] = *v;
+      }
+    }
+    return true;
+  };
+  for (std::uint64_t i = 0; i < *rounds; ++i) {
+    const auto key = r.uvarint();
+    if (!key) return false;
+    RoundMsgs& msgs = inbox[static_cast<int>(*key)];
+    if (!slot(msgs.report) || !slot(msgs.proposal)) return false;
+  }
+
+  x_ = *x;
+  round_ = static_cast<int>(*round);
+  decided_round_ = static_cast<int>(*decided_round);
+  phase_ = static_cast<Phase>(*phase);
+  decided_ = decided;
+  coin_ = coin;
+  coin_flips_ = *coin_flips;
+  inbox_ = std::move(inbox);
+  return true;
+}
+
 ConsensusFactory make_ben_or(Pid n, Pid t, std::uint64_t seed) {
   return [n, t, seed](Pid p, Value proposal) {
     return std::make_unique<BenOr>(p, proposal, n, t, seed);

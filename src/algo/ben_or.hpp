@@ -37,6 +37,9 @@ class BenOr final : public ConsensusAutomaton {
 
   [[nodiscard]] std::optional<Bytes> snapshot() const override;
 
+  [[nodiscard]] bool save_state(ByteWriter& w) const override;
+  [[nodiscard]] bool restore_state(ByteReader& r) override;
+
   [[nodiscard]] int round() const { return round_; }
   /// Round in which this process first decided (0 if undecided).
   [[nodiscard]] int decided_round() const { return decided_round_; }
@@ -44,6 +47,9 @@ class BenOr final : public ConsensusAutomaton {
 
  private:
   enum class Phase { kAwaitReports, kAwaitProposals };
+
+  BenOr(const BenOr&) = default;
+  [[nodiscard]] BenOr* clone_raw() const override { return new BenOr(*this); }
 
   static constexpr Value kQuestion = -1;
 

@@ -165,6 +165,97 @@ std::optional<Bytes> CtConsensus::snapshot() const {
   return w.take();
 }
 
+bool CtConsensus::save_state(ByteWriter& w) const {
+  // Complete state (unlike snapshot(), which covers the registers only):
+  // the buffered per-round inbox and the coordinator's selection drive
+  // future behavior, so the model checker's dedup must see them.
+  w.svarint(x_);
+  w.uvarint(static_cast<std::uint64_t>(ts_));
+  w.uvarint(static_cast<std::uint64_t>(round_));
+  w.u8(static_cast<std::uint8_t>(phase_));
+  w.svarint(select_value_);
+  w.u8(decided_.has_value());
+  if (decided_) w.svarint(*decided_);
+  w.uvarint(static_cast<std::uint64_t>(decided_round_));
+  w.u8(flooded_decide_ ? 1 : 0);
+  w.uvarint(inbox_.size());
+  for (const auto& [round, box] : inbox_) {
+    w.uvarint(static_cast<std::uint64_t>(round));
+    w.uvarint(box.estimates.size());
+    for (const auto& [from, est] : box.estimates) {
+      w.pid(from);
+      w.svarint(est.first);
+      w.uvarint(static_cast<std::uint64_t>(est.second));
+    }
+    w.u8(box.selection.has_value());
+    if (box.selection) w.svarint(*box.selection);
+    w.uvarint(static_cast<std::uint64_t>(box.acks));
+    w.uvarint(static_cast<std::uint64_t>(box.replies));
+  }
+  return true;
+}
+
+bool CtConsensus::restore_state(ByteReader& r) {
+  const auto x = r.svarint();
+  const auto ts = r.uvarint();
+  const auto round = r.uvarint();
+  const auto phase = r.u8();
+  const auto select_value = r.svarint();
+  const auto has_decided = r.u8();
+  if (!x || !ts || !round || !phase || *phase > 2 || !select_value ||
+      !has_decided) {
+    return false;
+  }
+  std::optional<Value> decided;
+  if (*has_decided != 0) {
+    const auto v = r.svarint();
+    if (!v) return false;
+    decided = *v;
+  }
+  const auto decided_round = r.uvarint();
+  const auto flooded = r.u8();
+  const auto rounds = r.uvarint();
+  if (!decided_round || !flooded || !rounds) return false;
+
+  std::map<int, RoundInbox> inbox;
+  for (std::uint64_t i = 0; i < *rounds; ++i) {
+    const auto key = r.uvarint();
+    const auto estimates = r.uvarint();
+    if (!key || !estimates) return false;
+    RoundInbox& box = inbox[static_cast<int>(*key)];
+    for (std::uint64_t j = 0; j < *estimates; ++j) {
+      const auto from = r.pid();
+      const auto value = r.svarint();
+      const auto est_ts = r.uvarint();
+      if (!from || !value || !est_ts) return false;
+      box.estimates[*from] = {*value, static_cast<int>(*est_ts)};
+    }
+    const auto has_selection = r.u8();
+    if (!has_selection) return false;
+    if (*has_selection != 0) {
+      const auto v = r.svarint();
+      if (!v) return false;
+      box.selection = *v;
+    }
+    const auto acks = r.uvarint();
+    const auto replies = r.uvarint();
+    if (!acks || !replies) return false;
+    box.acks = static_cast<int>(*acks);
+    box.replies = static_cast<int>(*replies);
+  }
+
+  x_ = *x;
+  ts_ = static_cast<int>(*ts);
+  round_ = static_cast<int>(*round);
+  phase_ = static_cast<Phase>(*phase);
+  select_value_ = *select_value;
+  decided_ = decided;
+  decided_round_ = static_cast<int>(*decided_round);
+  flooded_decide_ = *flooded != 0;
+  inbox_ = std::move(inbox);
+  return true;
+}
+
 ConsensusFactory make_ct(Pid n) {
   return [n](Pid p, Value proposal) {
     return std::make_unique<CtConsensus>(p, proposal, n);

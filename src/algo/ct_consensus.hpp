@@ -39,10 +39,18 @@ class CtConsensus final : public ConsensusAutomaton {
 
   [[nodiscard]] std::optional<Bytes> snapshot() const override;
 
+  [[nodiscard]] bool save_state(ByteWriter& w) const override;
+  [[nodiscard]] bool restore_state(ByteReader& r) override;
+
   [[nodiscard]] int round() const { return round_; }
   [[nodiscard]] int decided_round() const { return decided_round_; }
 
  private:
+  CtConsensus(const CtConsensus&) = default;
+  [[nodiscard]] CtConsensus* clone_raw() const override {
+    return new CtConsensus(*this);
+  }
+
   enum class Phase {
     kAwaitEstimates,  // coordinator only
     kAwaitSelection,

@@ -48,6 +48,9 @@ class MrConsensus final : public ConsensusAutomaton {
 
   [[nodiscard]] std::optional<Bytes> snapshot() const override;
 
+  [[nodiscard]] bool save_state(ByteWriter& w) const override;
+  [[nodiscard]] bool restore_state(ByteReader& r) override;
+
   /// Current asynchronous round (1-based), for instrumentation.
   [[nodiscard]] int round() const { return round_; }
 
@@ -56,6 +59,11 @@ class MrConsensus final : public ConsensusAutomaton {
 
  private:
   enum class Phase { kAwaitLead, kAwaitReports, kAwaitProposals };
+
+  MrConsensus(const MrConsensus&) = default;
+  [[nodiscard]] MrConsensus* clone_raw() const override {
+    return new MrConsensus(*this);
+  }
 
   /// Sentinel for the special proposal value "?".
   static constexpr Value kQuestion = INT64_MIN;

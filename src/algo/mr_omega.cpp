@@ -160,6 +160,11 @@ std::optional<Bytes> MrConsensus::snapshot() const {
   // automata with equal snapshots being behaviorally identical, so the
   // buffered per-round messages are included, not just the registers.
   ByteWriter w;
+  if (!save_state(w)) return std::nullopt;
+  return w.take();
+}
+
+bool MrConsensus::save_state(ByteWriter& w) const {
   w.svarint(x_);
   w.uvarint(static_cast<std::uint64_t>(round_));
   w.u8(static_cast<std::uint8_t>(phase_));
@@ -179,7 +184,52 @@ std::optional<Bytes> MrConsensus::snapshot() const {
     slot(msgs.rep);
     slot(msgs.prop);
   }
-  return w.take();
+  return true;
+}
+
+bool MrConsensus::restore_state(ByteReader& r) {
+  const auto x = r.svarint();
+  const auto round = r.uvarint();
+  const auto phase = r.u8();
+  const auto has_decided = r.u8();
+  if (!x || !round || !phase || *phase > 2 || !has_decided) return false;
+  std::optional<Value> decided;
+  if (*has_decided != 0) {
+    const auto v = r.svarint();
+    if (!v) return false;
+    decided = *v;
+  }
+  const auto decided_round = r.uvarint();
+  const auto rounds = r.uvarint();
+  if (!decided_round || !rounds) return false;
+
+  std::map<int, RoundMsgs> inbox;
+  const auto slot = [&r, this](std::optional<Value> (&arr)[kMaxProcesses]) {
+    for (Pid q = 0; q < opts_.n; ++q) {
+      const auto has = r.u8();
+      if (!has) return false;
+      if (*has != 0) {
+        const auto v = r.svarint();
+        if (!v) return false;
+        arr[q] = *v;
+      }
+    }
+    return true;
+  };
+  for (std::uint64_t i = 0; i < *rounds; ++i) {
+    const auto key = r.uvarint();
+    if (!key) return false;
+    RoundMsgs& msgs = inbox[static_cast<int>(*key)];
+    if (!slot(msgs.lead) || !slot(msgs.rep) || !slot(msgs.prop)) return false;
+  }
+
+  x_ = *x;
+  round_ = static_cast<int>(*round);
+  phase_ = static_cast<Phase>(*phase);
+  decided_ = decided;
+  decided_round_ = static_cast<int>(*decided_round);
+  inbox_ = std::move(inbox);
+  return true;
 }
 
 ConsensusFactory make_mr_majority(Pid n) {

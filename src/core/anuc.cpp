@@ -219,6 +219,139 @@ std::optional<Bytes> Anuc::snapshot() const {
   return w.take();
 }
 
+bool Anuc::save_state(ByteWriter& w) const {
+  // Unlike snapshot() (registers + history only), this is the complete
+  // state: the buffered inbox and SAW/ACK bookkeeping determine future
+  // behavior, so the model checker's dedup must distinguish them.
+  w.svarint(x_);
+  w.uvarint(static_cast<std::uint64_t>(round_));
+  w.u8(static_cast<std::uint8_t>(phase_));
+  w.u8(decided_.has_value());
+  if (decided_) w.svarint(*decided_);
+  w.uvarint(static_cast<std::uint64_t>(decided_round_));
+  history_.encode(w);
+  w.uvarint(inbox_.size());
+  for (const auto& [round, msgs] : inbox_) {
+    w.uvarint(static_cast<std::uint64_t>(round));
+    const auto history_slot =
+        [&w, this](const std::optional<HistoryMsg> (&arr)[kMaxProcesses]) {
+          for (Pid q = 0; q < n_; ++q) {
+            w.u8(arr[q].has_value());
+            if (arr[q]) {
+              w.svarint(arr[q]->v);
+              arr[q]->h.encode(w);
+            }
+          }
+        };
+    history_slot(msgs.lead);
+    for (Pid q = 0; q < n_; ++q) {
+      w.u8(msgs.rep[q].has_value());
+      if (msgs.rep[q]) w.svarint(*msgs.rep[q]);
+    }
+    history_slot(msgs.prop);
+  }
+  w.uvarint(saw_.size());
+  for (const auto& [mask, state] : saw_) {
+    w.u64(mask);
+    w.u8(state.sent ? 1 : 0);
+    w.process_set(state.acks);
+    w.uvarint(static_cast<std::uint64_t>(state.max_ack_round));
+    w.u8(state.seen.has_value());
+    if (state.seen) w.uvarint(static_cast<std::uint64_t>(*state.seen));
+  }
+  w.svarint(distrust_calls_);
+  w.svarint(distrust_hits_);
+  return true;
+}
+
+bool Anuc::restore_state(ByteReader& r) {
+  const auto x = r.svarint();
+  const auto round = r.uvarint();
+  const auto phase = r.u8();
+  const auto has_decided = r.u8();
+  if (!x || !round || !phase || *phase > 2 || !has_decided) return false;
+  std::optional<Value> decided;
+  if (*has_decided != 0) {
+    const auto v = r.svarint();
+    if (!v) return false;
+    decided = *v;
+  }
+  const auto decided_round = r.uvarint();
+  if (!decided_round) return false;
+  auto history = QuorumHistory::decode(r);
+  if (!history || history->n() != n_) return false;
+
+  const auto rounds = r.uvarint();
+  if (!rounds) return false;
+  std::map<int, RoundMsgs> inbox;
+  const auto history_slot =
+      [&r, this](std::optional<HistoryMsg> (&arr)[kMaxProcesses]) {
+        for (Pid q = 0; q < n_; ++q) {
+          const auto has = r.u8();
+          if (!has) return false;
+          if (*has != 0) {
+            const auto v = r.svarint();
+            auto h = QuorumHistory::decode(r);
+            if (!v || !h || h->n() != n_) return false;
+            arr[q] = HistoryMsg{*v, std::move(*h)};
+          }
+        }
+        return true;
+      };
+  for (std::uint64_t i = 0; i < *rounds; ++i) {
+    const auto key = r.uvarint();
+    if (!key) return false;
+    RoundMsgs& msgs = inbox[static_cast<int>(*key)];
+    if (!history_slot(msgs.lead)) return false;
+    for (Pid q = 0; q < n_; ++q) {
+      const auto has = r.u8();
+      if (!has) return false;
+      if (*has != 0) {
+        const auto v = r.svarint();
+        if (!v) return false;
+        msgs.rep[q] = *v;
+      }
+    }
+    if (!history_slot(msgs.prop)) return false;
+  }
+
+  const auto saw_count = r.uvarint();
+  if (!saw_count) return false;
+  std::map<std::uint64_t, SawState> saw;
+  for (std::uint64_t i = 0; i < *saw_count; ++i) {
+    const auto mask = r.u64();
+    const auto sent = r.u8();
+    const auto acks = r.process_set();
+    const auto max_ack_round = r.uvarint();
+    const auto has_seen = r.u8();
+    if (!mask || !sent || !acks || !max_ack_round || !has_seen) return false;
+    SawState& state = saw[*mask];
+    state.sent = *sent != 0;
+    state.acks = *acks;
+    state.max_ack_round = static_cast<int>(*max_ack_round);
+    if (*has_seen != 0) {
+      const auto seen = r.uvarint();
+      if (!seen) return false;
+      state.seen = static_cast<int>(*seen);
+    }
+  }
+  const auto calls = r.svarint();
+  const auto hits = r.svarint();
+  if (!calls || !hits) return false;
+
+  x_ = *x;
+  round_ = static_cast<int>(*round);
+  phase_ = static_cast<Phase>(*phase);
+  decided_ = decided;
+  decided_round_ = static_cast<int>(*decided_round);
+  history_ = std::move(*history);
+  inbox_ = std::move(inbox);
+  saw_ = std::move(saw);
+  distrust_calls_ = *calls;
+  distrust_hits_ = *hits;
+  return true;
+}
+
 ConsensusFactory make_anuc(Pid n, AnucOptions options) {
   return [n, options](Pid p, Value proposal) {
     return std::make_unique<Anuc>(p, proposal, n, options);

@@ -53,6 +53,9 @@ class Anuc final : public ConsensusAutomaton {
 
   [[nodiscard]] std::optional<Bytes> snapshot() const override;
 
+  [[nodiscard]] bool save_state(ByteWriter& w) const override;
+  [[nodiscard]] bool restore_state(ByteReader& r) override;
+
   [[nodiscard]] int round() const { return round_; }
   [[nodiscard]] int decided_round() const { return decided_round_; }
 
@@ -63,6 +66,11 @@ class Anuc final : public ConsensusAutomaton {
 
  private:
   enum class Phase { kAwaitLead, kAwaitReports, kAwaitProposals };
+
+  /// StackedNuc's clone copies its embedded components.
+  friend class StackedNuc;
+  Anuc(const Anuc&) = default;
+  [[nodiscard]] Anuc* clone_raw() const override { return new Anuc(*this); }
 
   static constexpr Value kQuestion = INT64_MIN;
 

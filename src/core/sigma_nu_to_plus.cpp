@@ -48,6 +48,28 @@ bool SigmaNuToPlus::try_emit(NodeRef fresh) {
   return true;
 }
 
+bool SigmaNuToPlus::save_state(ByteWriter& w) const {
+  core_.save(w);
+  w.process_set(output_);
+  w.svarint(u_.q);
+  w.uvarint(u_.k);
+  w.svarint(outputs_);
+  return true;
+}
+
+bool SigmaNuToPlus::restore_state(ByteReader& r) {
+  if (!core_.restore(r)) return false;
+  const auto output = r.process_set();
+  const auto uq = r.svarint();
+  const auto uk = r.uvarint();
+  const auto outputs = r.svarint();
+  if (!output || !uq || !uk || !outputs) return false;
+  output_ = *output;
+  u_ = NodeRef{static_cast<Pid>(*uq), static_cast<std::uint32_t>(*uk)};
+  outputs_ = *outputs;
+  return true;
+}
+
 AutomatonFactory make_sigma_nu_to_plus(Pid n, int gossip_every) {
   return [n, gossip_every](Pid p) {
     return std::make_unique<SigmaNuToPlus>(p, n, gossip_every);

@@ -37,7 +37,17 @@ class SigmaNuToPlus final : public Automaton, public EmulatedFd {
   [[nodiscard]] const DagCore& core() const { return core_; }
   [[nodiscard]] std::int64_t outputs_produced() const { return outputs_; }
 
+  [[nodiscard]] bool save_state(ByteWriter& w) const override;
+  [[nodiscard]] bool restore_state(ByteReader& r) override;
+
  private:
+  /// StackedNuc's clone copies its embedded components.
+  friend class StackedNuc;
+  SigmaNuToPlus(const SigmaNuToPlus&) = default;
+  [[nodiscard]] SigmaNuToPlus* clone_raw() const override {
+    return new SigmaNuToPlus(*this);
+  }
+
   /// Searches G|u for a witness path and updates the output; returns true
   /// when a new quorum was emitted (lines 15-17).
   bool try_emit(NodeRef fresh);

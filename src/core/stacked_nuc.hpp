@@ -35,12 +35,26 @@ class StackedNuc final : public ConsensusAutomaton {
     return consensus_.snapshot();
   }
 
+  /// Complete state = both components' complete states (the per-step
+  /// scratch members are overwritten before every use).
+  [[nodiscard]] bool save_state(ByteWriter& w) const override {
+    return transform_.save_state(w) && consensus_.save_state(w);
+  }
+  [[nodiscard]] bool restore_state(ByteReader& r) override {
+    return transform_.restore_state(r) && consensus_.restore_state(r);
+  }
+
   [[nodiscard]] const SigmaNuToPlus& transformation() const {
     return transform_;
   }
   [[nodiscard]] const Anuc& consensus() const { return consensus_; }
 
  private:
+  StackedNuc(const StackedNuc&) = default;
+  [[nodiscard]] StackedNuc* clone_raw() const override {
+    return new StackedNuc(*this);
+  }
+
   /// Runs one sub-automaton step and wraps its sends with `channel`.
   void step_component(Automaton& component, const Incoming* in,
                       const FdValue& d, std::uint8_t channel,

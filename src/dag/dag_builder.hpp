@@ -31,6 +31,25 @@ class DagCore {
   [[nodiscard]] std::uint32_t k() const { return k_; }
   [[nodiscard]] Pid self() const { return self_; }
 
+  /// Full-state save/restore for the embedding automata's model-checker
+  /// support: the DAG (already serializable as the gossip payload) plus
+  /// the local sample counter.
+  void save(ByteWriter& w) const {
+    w.bytes(dag_.serialize());
+    w.uvarint(k_);
+  }
+  [[nodiscard]] bool restore(ByteReader& r) {
+    const auto raw = r.bytes();
+    if (!raw) return false;
+    auto dag = SampleDag::deserialize(*raw);
+    if (!dag || dag->n() != dag_.n()) return false;
+    const auto k = r.uvarint();
+    if (!k) return false;
+    dag_ = std::move(*dag);
+    k_ = static_cast<std::uint32_t>(*k);
+    return true;
+  }
+
  private:
   Pid self_;
   SampleDag dag_;

@@ -14,20 +14,20 @@ template <typename Pred>
 CheckResult eventually_all_correct(const RecordedHistory& h,
                                    const FailurePattern& fp, Pred pred,
                                    const char* what) {
+  // One pass: track the last violating sample time among correct processes
+  // and, alongside it, each correct process's latest sample time. Process p
+  // is witnessed iff its latest sample lies strictly after the last
+  // violation (a process with no samples has latest = -1 and always fails).
   Time last_violation = -1;
+  std::vector<Time> latest(static_cast<std::size_t>(fp.n()), -1);
   for (const Sample& s : h.samples()) {
-    if (!fp.is_correct(s.p)) continue;
+    if (s.p < 0 || s.p >= fp.n() || !fp.is_correct(s.p)) continue;
+    Time& lt = latest[static_cast<std::size_t>(s.p)];
+    lt = std::max(lt, s.t);
     if (!pred(s)) last_violation = std::max(last_violation, s.t);
   }
   for (Pid p : fp.correct()) {
-    bool witnessed = false;
-    for (const Sample& s : h.samples()) {
-      if (s.p == p && s.t > last_violation) {
-        witnessed = true;
-        break;
-      }
-    }
-    if (!witnessed) {
+    if (latest[static_cast<std::size_t>(p)] <= last_violation) {
       return CheckResult::fail(
           std::string(what) + ": correct process " + std::to_string(p) +
           " has no sample after the last violation (t=" +
@@ -83,8 +83,10 @@ CheckResult quorum_completeness(const RecordedHistory& h,
 
 std::vector<Sample> RecordedHistory::of(Pid p) const {
   std::vector<Sample> out;
-  for (const Sample& s : samples_) {
-    if (s.p == p) out.push_back(s);
+  if (p < 0 || static_cast<std::size_t>(p) >= by_pid_.size()) return out;
+  out.reserve(by_pid_[p].size());
+  for (std::uint32_t i : by_pid_[static_cast<std::size_t>(p)]) {
+    out.push_back(samples_[i]);
   }
   return out;
 }

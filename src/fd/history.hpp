@@ -10,8 +10,10 @@
 // after t (so the check is never vacuously true).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/failure_pattern.hpp"
@@ -28,7 +30,16 @@ struct Sample {
 
 class RecordedHistory {
  public:
-  void add(Pid p, Time t, FdValue value) { samples_.push_back({p, t, value}); }
+  void add(Pid p, Time t, FdValue value) {
+    if (p >= 0) {
+      if (static_cast<std::size_t>(p) >= by_pid_.size()) {
+        by_pid_.resize(static_cast<std::size_t>(p) + 1);
+      }
+      by_pid_[static_cast<std::size_t>(p)].push_back(
+          static_cast<std::uint32_t>(samples_.size()));
+    }
+    samples_.push_back({p, t, std::move(value)});
+  }
 
   [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
 
@@ -43,6 +54,9 @@ class RecordedHistory {
 
  private:
   std::vector<Sample> samples_;
+  // Per-process sample indices, kept in record order, so of() is a gather
+  // rather than a full scan.
+  std::vector<std::vector<std::uint32_t>> by_pid_;
 };
 
 /// Result of a property check; `ok` with an empty detail, or a

@@ -40,7 +40,6 @@ class Automaton {
   virtual ~Automaton() = default;
 
   Automaton() = default;
-  Automaton(const Automaton&) = delete;
   Automaton& operator=(const Automaton&) = delete;
 
   /// One atomic step. `in` is nullptr for the empty message lambda.
@@ -50,10 +49,40 @@ class Automaton {
 
   /// Full encoding of the local state, used by tests to compare
   /// configurations (e.g. the Lemma 2.2 merging check). Optional; the
-  /// default marks the state as not comparable.
+  /// default marks the state as not comparable. May omit transient
+  /// bookkeeping; the complete-state contract lives in save_state below.
   [[nodiscard]] virtual std::optional<Bytes> snapshot() const {
     return std::nullopt;
   }
+
+  /// Complete-state serialization contract for the model checker: two
+  /// automata constructed by the same factory call whose save_state
+  /// encodings are equal must behave identically on every future input,
+  /// and restore_state(save_state(a)) must reproduce a exactly. Returns
+  /// false when the automaton does not support it (the default).
+  [[nodiscard]] virtual bool save_state(ByteWriter&) const { return false; }
+  [[nodiscard]] virtual bool restore_state(ByteReader&) { return false; }
+
+  /// Convenience wrapper: restores from a whole buffer, requiring it to be
+  /// consumed exactly.
+  [[nodiscard]] bool restore(const Bytes& state) {
+    ByteReader r(state);
+    return restore_state(r) && r.done();
+  }
+
+  /// Deep copy of the full state (including transient scratch); nullptr
+  /// when the automaton does not implement clone_raw.
+  [[nodiscard]] std::unique_ptr<Automaton> clone() const {
+    return std::unique_ptr<Automaton>(clone_raw());
+  }
+
+ protected:
+  /// Copying is reserved for clone_raw implementations; slicing copies
+  /// through a base reference stay inaccessible to outside code.
+  Automaton(const Automaton&) = default;
+
+  /// Covariant clone hook: final classes return `new Self(*this)`.
+  [[nodiscard]] virtual Automaton* clone_raw() const { return nullptr; }
 };
 
 /// Values proposed to / decided by consensus. int64 is general enough for
@@ -65,6 +94,19 @@ using Value = std::int64_t;
 class ConsensusAutomaton : public Automaton {
  public:
   [[nodiscard]] virtual std::optional<Value> decision() const = 0;
+
+  /// Covariant clone (hides Automaton::clone on purpose): the model
+  /// checker clones consensus automata and keeps querying decision().
+  [[nodiscard]] std::unique_ptr<ConsensusAutomaton> clone() const {
+    return std::unique_ptr<ConsensusAutomaton>(clone_raw());
+  }
+
+ protected:
+  ConsensusAutomaton() = default;
+  ConsensusAutomaton(const ConsensusAutomaton&) = default;
+  [[nodiscard]] ConsensusAutomaton* clone_raw() const override {
+    return nullptr;
+  }
 };
 
 /// Creates the automaton for process p in the initial configuration.

@@ -8,6 +8,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "util/bytes.hpp"
 #include "util/process_set.hpp"
 
 namespace nucon {
@@ -92,6 +93,20 @@ class Rng {
   /// Derives an independent child generator (e.g. one per process).
   [[nodiscard]] Rng fork(std::uint64_t salt) {
     return Rng(next() ^ (salt * 0x9e3779b97f4a7c15ULL));
+  }
+
+  /// Serializes the generator position, so a restored automaton draws the
+  /// same continuation of its coin tape (full-state save/restore).
+  void save(ByteWriter& w) const {
+    for (std::uint64_t word : state_) w.u64(word);
+  }
+  [[nodiscard]] bool restore(ByteReader& r) {
+    for (auto& word : state_) {
+      const auto v = r.u64();
+      if (!v) return false;
+      word = *v;
+    }
+    return true;
   }
 
  private:

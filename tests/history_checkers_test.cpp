@@ -230,5 +230,46 @@ TEST(HistoryRecord, OfFiltersByProcess) {
   EXPECT_EQ(h.of(2).size(), 0u);
 }
 
+TEST(HistoryRecord, OfMatchesLinearScan) {
+  // Regression guard for the indexed of(): must return exactly what a
+  // linear filter over samples() returns, in record order.
+  RecordedHistory h;
+  for (int i = 0; i < 100; ++i) {
+    h.add(static_cast<Pid>(i % 7), i, FdValue::of_leader(i % 3));
+  }
+  for (Pid p = 0; p < 9; ++p) {
+    const auto got = h.of(p);
+    std::vector<Sample> want;
+    for (const Sample& s : h.samples()) {
+      if (s.p == p) want.push_back(s);
+    }
+    ASSERT_EQ(got.size(), want.size()) << "p=" << p;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].t, want[i].t) << "p=" << p;
+      EXPECT_EQ(got[i].value.leader(), want[i].value.leader()) << "p=" << p;
+    }
+  }
+}
+
+TEST(EventuallyClauses, CorrectProcessWithoutSamplesIsNeverWitnessed) {
+  // Even with no violating sample anywhere, the "eventually" clause must
+  // not hold vacuously: a correct process that never sampled has no
+  // witness for the suffix.
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_leader(0));  // process 1 (correct) never samples
+  EXPECT_FALSE(check_omega(h, fp).ok);
+}
+
+TEST(EventuallyClauses, ViolationAtTheLastSampleTimeFails) {
+  // A violating sample at the very last recorded time leaves no process
+  // with a strictly later witness, so the clause fails for everyone.
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 5, FdValue::of_leader(0));
+  h.add(1, 5, FdValue::of_leader(1));  // disagrees at the shared last time
+  EXPECT_FALSE(check_omega(h, fp).ok);
+}
+
 }  // namespace
 }  // namespace nucon

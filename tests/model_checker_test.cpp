@@ -73,10 +73,11 @@ TEST(ModelChecker, AnucSurvivesThePartitionHistory) {
   // A_nuc consuming the partition history (a legal Sigma^nu+ history when
   // the other process is faulty — self-inclusive, faulty-only quorums):
   // the distrust machinery must prevent any disagreement in every
-  // explored schedule. Snapshot-based dedup is partial for A_nuc (its
-  // snapshot omits buffered messages), so this is a broad search rather
-  // than a certification; the assertion is that no violation exists in
-  // what was explored.
+  // explored schedule. A_nuc's save_state is a complete encoding so dedup
+  // is exact, but the depth-14 space exceeds the state budget here, so
+  // this is a broad search rather than a certification; the assertion is
+  // that no violation exists in what was explored. (The exhaustive A_nuc
+  // certificate lives in model_checker_parallel_test.cpp at n=3.)
   McOptions opts;
   opts.n = 2;
   opts.make = make_anuc(2);
