@@ -10,11 +10,17 @@
 # frozen replay-based DFS baseline on the depth-8 slice of the n=3
 # reference space, with the determinism cross-checks (the full depth-12
 # comparison runs when bench_model is invoked without the quick flag).
-# See EXPERIMENTS.md "Throughput baseline" and "Exhaustive model checking".
+# Finally chains the fuzz-smoke preset: a fixed-seed 10-second
+# coverage-guided campaign against the naive Sigma^nu substitution that
+# must rediscover and minimize the known nonuniform-agreement violation
+# (nucon_fuzz exits nonzero otherwise), emitting build/BENCH_fuzz.json.
+# See EXPERIMENTS.md "Throughput baseline", "Exhaustive model checking"
+# and "Coverage-guided fuzzing".
 #
 # Usage: scripts/bench-quick.sh   (from the repo root)
 set -e
 cd "$(dirname "$0")/.."
 cmake --preset default
 cmake --build --preset bench-quick
-echo "==> bench-quick: wrote build/BENCH_hotpath.json and build/BENCH_model.json"
+cmake --build --preset fuzz-smoke
+echo "==> bench-quick: wrote build/BENCH_hotpath.json, build/BENCH_model.json and build/BENCH_fuzz.json"

@@ -1199,6 +1199,20 @@ McResult model_check_consensus(const McOptions& opts) {
   return engine.result;
 }
 
+StateKey128 state_key128(const Bytes& encoded) {
+  const Key128 k = content_hash(encoded);
+  return {k.lo, k.hi};
+}
+
+StateKey128 process_state_key(Pid p, StateKey128 content) {
+  Hash2 h(0x70726f63ULL);  // "proc", same constant as process_element
+  h.mix(static_cast<std::uint64_t>(p));
+  h.mix(content.lo);
+  h.mix(content.hi);
+  const Key128 k = h.key();
+  return {k.lo, k.hi};
+}
+
 std::optional<std::string> replay_witness(const McOptions& opts,
                                           const std::vector<McStep>& witness) {
   assert(opts.make != nullptr && opts.fd != nullptr);

@@ -148,4 +148,28 @@ struct McResult {
 [[nodiscard]] std::optional<std::string> replay_witness(
     const McOptions& opts, const std::vector<McStep>& witness);
 
+/// The engine's 128-bit configuration-key building block, exposed for
+/// external consumers (the coverage-guided fuzzer in src/fuzz uses it to
+/// fingerprint per-process states). Two independent 64-bit mixes of the
+/// same input; a collision requires both halves to collide, exactly the
+/// property the model checker's dedup relies on.
+struct StateKey128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const StateKey128&, const StateKey128&) = default;
+  friend bool operator<(const StateKey128& a, const StateKey128& b) {
+    return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+  }
+};
+
+/// Content key of an encoded automaton state — the exact double-mix the
+/// incremental engine computes for its per-process section hashes.
+[[nodiscard]] StateKey128 state_key128(const Bytes& encoded);
+
+/// Mixes a process id into its state's content key, matching the engine's
+/// per-process element hashing (minus the step counters, which external
+/// consumers track — or deliberately ignore — themselves).
+[[nodiscard]] StateKey128 process_state_key(Pid p, StateKey128 content);
+
 }  // namespace nucon

@@ -79,109 +79,23 @@ void validate(const SweepPoint& pt) {
   }
 }
 
-/// Owns the whole oracle stack of one job; `top` is what the run queries.
-/// Every job builds its own stack: oracles are stateful (lazily fixed
-/// histories), so nothing is shared across worker threads.
-struct OracleStack {
-  std::vector<std::unique_ptr<Oracle>> owned;
-  Oracle* top = nullptr;
-
-  template <typename T, typename... Args>
-  T& make(Args&&... args) {
-    owned.push_back(std::make_unique<T>(std::forward<Args>(args)...));
-    top = owned.back().get();
-    return static_cast<T&>(*top);
-  }
-};
-
-/// Everything a point's run needs, derived from the point alone. The seed
-/// offsets match tools/nucon_explore's historical scheme so explorer
-/// sessions before and after the engine landed replay identically.
+/// Everything a point's run needs, derived from the point alone via the
+/// public AlgoOracles/consensus_factory_of pieces. The seed offsets match
+/// tools/nucon_explore's historical scheme so explorer sessions before and
+/// after the engine landed replay identically.
 struct PointSetup {
   FailurePattern fp;
-  OracleStack oracle;
+  AlgoOracles oracle;
   ConsensusFactory make;
   std::vector<Value> proposals;
   SchedulerOptions opts;
 
-  explicit PointSetup(const SweepPoint& pt) : fp(failure_pattern_of(pt)) {
-    const Pid n = pt.n;
-    const std::uint64_t seed = pt.seed;
-
-    switch (pt.algo) {
-      case Algo::kAnuc: {
-        OmegaOptions oo;
-        oo.stabilize_at = pt.stabilize;
-        oo.seed = seed;
-        auto& omega = oracle.make<OmegaOracle>(fp, oo);
-        SigmaNuPlusOptions spo;
-        spo.stabilize_at = pt.stabilize;
-        spo.seed = seed + 0x53;
-        spo.faulty = pt.faulty_mode;
-        auto& plus = oracle.make<SigmaNuPlusOracle>(fp, spo);
-        oracle.make<ComposedOracle>(omega, plus);
-        make = make_anuc(n);
-        break;
-      }
-      case Algo::kStacked:
-      case Algo::kNaive: {
-        OmegaOptions oo;
-        oo.stabilize_at = pt.stabilize;
-        oo.seed = seed;
-        auto& omega = oracle.make<OmegaOracle>(fp, oo);
-        SigmaNuOptions sno;
-        sno.stabilize_at = pt.stabilize;
-        sno.seed = seed + 0x52;
-        sno.faulty = pt.faulty_mode;
-        auto& nu = oracle.make<SigmaNuOracle>(fp, sno);
-        oracle.make<ComposedOracle>(omega, nu);
-        make = pt.algo == Algo::kStacked ? make_stacked_nuc(n)
-                                         : make_mr_fd_quorum(n);
-        break;
-      }
-      case Algo::kMrMajority: {
-        OmegaOptions oo;
-        oo.stabilize_at = pt.stabilize;
-        oo.seed = seed;
-        oracle.make<OmegaOracle>(fp, oo);
-        make = make_mr_majority(n);
-        break;
-      }
-      case Algo::kMrSigma: {
-        OmegaOptions oo;
-        oo.stabilize_at = pt.stabilize;
-        oo.seed = seed;
-        auto& omega = oracle.make<OmegaOracle>(fp, oo);
-        SigmaOptions so;
-        so.stabilize_at = pt.stabilize;
-        so.seed = seed + 0x51;
-        auto& sigma = oracle.make<SigmaOracle>(fp, so);
-        oracle.make<ComposedOracle>(omega, sigma);
-        make = make_mr_fd_quorum(n);
-        break;
-      }
-      case Algo::kCt: {
-        SuspectsOptions sso;
-        sso.stabilize_at = pt.stabilize;
-        sso.seed = seed + 0x54;
-        oracle.make<EvtStrongOracle>(fp, sso);
-        make = make_ct(n);
-        break;
-      }
-      case Algo::kBenOr: {
-        oracle.make<ScriptedOracle>([](Pid, Time) { return FdValue{}; });
-        make = make_ben_or(n, static_cast<Pid>((n - 1) / 2), seed);
-        break;
-      }
-      case Algo::kFromScratch: {
-        oracle.make<ScriptedOracle>([](Pid, Time) { return FdValue{}; });
-        make = make_from_scratch(n, static_cast<Pid>((n - 1) / 2));
-        break;
-      }
-    }
-
-    proposals = proposals_of(pt);
-    opts.seed = seed;
+  explicit PointSetup(const SweepPoint& pt)
+      : fp(failure_pattern_of(pt)),
+        oracle(pt.algo, fp, pt.stabilize, pt.faulty_mode, pt.seed),
+        make(consensus_factory_of(pt.algo, pt.n, pt.seed)),
+        proposals(proposals_of(pt)) {
+    opts.seed = pt.seed;
     opts.max_steps = pt.max_steps;
   }
 };
@@ -250,6 +164,92 @@ std::optional<Algo> parse_algo(const std::string& name) {
 }
 
 Expect expectation(Algo a) { return info_of(a).expect; }
+
+AlgoOracles::AlgoOracles(Algo algo, const FailurePattern& fp, Time stabilize,
+                         FaultyQuorumBehavior faulty_mode,
+                         std::uint64_t seed) {
+  switch (algo) {
+    case Algo::kAnuc: {
+      OmegaOptions oo;
+      oo.stabilize_at = stabilize;
+      oo.seed = seed;
+      auto& omega = make<OmegaOracle>(fp, oo);
+      SigmaNuPlusOptions spo;
+      spo.stabilize_at = stabilize;
+      spo.seed = seed + 0x53;
+      spo.faulty = faulty_mode;
+      auto& plus = make<SigmaNuPlusOracle>(fp, spo);
+      make<ComposedOracle>(omega, plus);
+      break;
+    }
+    case Algo::kStacked:
+    case Algo::kNaive: {
+      OmegaOptions oo;
+      oo.stabilize_at = stabilize;
+      oo.seed = seed;
+      auto& omega = make<OmegaOracle>(fp, oo);
+      SigmaNuOptions sno;
+      sno.stabilize_at = stabilize;
+      sno.seed = seed + 0x52;
+      sno.faulty = faulty_mode;
+      auto& nu = make<SigmaNuOracle>(fp, sno);
+      make<ComposedOracle>(omega, nu);
+      break;
+    }
+    case Algo::kMrMajority: {
+      OmegaOptions oo;
+      oo.stabilize_at = stabilize;
+      oo.seed = seed;
+      make<OmegaOracle>(fp, oo);
+      break;
+    }
+    case Algo::kMrSigma: {
+      OmegaOptions oo;
+      oo.stabilize_at = stabilize;
+      oo.seed = seed;
+      auto& omega = make<OmegaOracle>(fp, oo);
+      SigmaOptions so;
+      so.stabilize_at = stabilize;
+      so.seed = seed + 0x51;
+      auto& sigma = make<SigmaOracle>(fp, so);
+      make<ComposedOracle>(omega, sigma);
+      break;
+    }
+    case Algo::kCt: {
+      SuspectsOptions sso;
+      sso.stabilize_at = stabilize;
+      sso.seed = seed + 0x54;
+      make<EvtStrongOracle>(fp, sso);
+      break;
+    }
+    case Algo::kBenOr:
+    case Algo::kFromScratch: {
+      make<ScriptedOracle>([](Pid, Time) { return FdValue{}; });
+      break;
+    }
+  }
+}
+
+ConsensusFactory consensus_factory_of(Algo a, Pid n, std::uint64_t seed) {
+  switch (a) {
+    case Algo::kAnuc:
+      return make_anuc(n);
+    case Algo::kStacked:
+      return make_stacked_nuc(n);
+    case Algo::kMrMajority:
+      return make_mr_majority(n);
+    case Algo::kMrSigma:
+    case Algo::kNaive:
+      return make_mr_fd_quorum(n);
+    case Algo::kCt:
+      return make_ct(n);
+    case Algo::kBenOr:
+      return make_ben_or(n, static_cast<Pid>((n - 1) / 2), seed);
+    case Algo::kFromScratch:
+      return make_from_scratch(n, static_cast<Pid>((n - 1) / 2));
+  }
+  throw std::invalid_argument("unknown Algo");
+}
 
 const char* expect_name(Expect e) {
   switch (e) {
@@ -388,13 +388,13 @@ ConsensusRunStats run_point(const SweepPoint& pt) {
   // Sweep jobs fold into summary stats; nobody reads the StepRecord
   // vector, so skip growing it. simulate_point/trace_point keep recording.
   setup.opts.record_run = false;
-  return run_consensus(setup.fp, *setup.oracle.top, setup.make,
+  return run_consensus(setup.fp, setup.oracle.top(), setup.make,
                        setup.proposals, setup.opts);
 }
 
 SimResult simulate_point(const SweepPoint& pt) {
   PointSetup setup(pt);
-  return simulate_consensus(setup.fp, *setup.oracle.top, setup.make,
+  return simulate_consensus(setup.fp, setup.oracle.top(), setup.make,
                             setup.proposals, setup.opts);
 }
 
@@ -410,7 +410,7 @@ TracedRun trace_point(const SweepPoint& pt, trace::TraceRecorder::Options opts) 
   setup.opts.trace = &recorder;
 
   TracedRun out;
-  out.stats = run_consensus(setup.fp, *setup.oracle.top, setup.make,
+  out.stats = run_consensus(setup.fp, setup.oracle.top(), setup.make,
                             setup.proposals, setup.opts);
   const ConsensusVerdict& v = out.stats.verdict;
   recorder.annotate(

@@ -21,6 +21,7 @@
 // re-executes serially for debugging.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -54,6 +55,37 @@ enum class Algo {
 enum class Expect { kNonuniform, kUniform, kNone };
 [[nodiscard]] Expect expectation(Algo a);
 [[nodiscard]] const char* expect_name(Expect e);
+
+/// The canonical oracle stack of an algorithm: owns every layer and exposes
+/// the composed top the run queries. Factored out of the sweep engine's
+/// per-point setup so external drivers (tools/nucon_explore, the fuzzer in
+/// src/fuzz) construct byte-for-byte the same oracles — seed offsets
+/// included — as the sweeps; any configuration replays identically
+/// everywhere. Oracles are stateful (lazily fixed histories), so every job
+/// builds its own stack; nothing is shared across threads.
+class AlgoOracles {
+ public:
+  AlgoOracles(Algo algo, const FailurePattern& fp, Time stabilize,
+              FaultyQuorumBehavior faulty_mode, std::uint64_t seed);
+
+  [[nodiscard]] Oracle& top() { return *top_; }
+
+ private:
+  template <typename T, typename... Args>
+  T& make(Args&&... args) {
+    owned_.push_back(std::make_unique<T>(std::forward<Args>(args)...));
+    top_ = owned_.back().get();
+    return static_cast<T&>(*top_);
+  }
+
+  std::vector<std::unique_ptr<Oracle>> owned_;
+  Oracle* top_ = nullptr;
+};
+
+/// The consensus factory an algorithm denotes at system size n (seed only
+/// feeds Ben-Or's coin). Same registry the sweep points run.
+[[nodiscard]] ConsensusFactory consensus_factory_of(Algo a, Pid n,
+                                                    std::uint64_t seed);
 
 /// One grid point == one deterministic run.
 struct SweepPoint {

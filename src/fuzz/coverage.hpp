@@ -1,0 +1,46 @@
+// The corpus admission signal: which states and divergence shapes the
+// campaign has already seen.
+//
+// A genome earns a corpus slot by reaching a per-process state key the
+// model checker's 128-bit double-mix has not fingerprinted before, or an
+// agreement-divergence shape find_divergence has not reported before.
+// Both sets are ordered containers updated only in the engine's serial
+// merge, so the admission decisions — and therefore the corpus — are a
+// pure function of the candidate order.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/model_checker.hpp"
+
+namespace nucon::fuzz {
+
+class CoverageMap {
+ public:
+  /// Merges one execution's (sorted, deduplicated) key set; returns how
+  /// many keys were new.
+  std::size_t add_states(const std::vector<StateKey128>& keys) {
+    std::size_t fresh = 0;
+    for (const StateKey128& k : keys) fresh += states_.insert(k).second;
+    return fresh;
+  }
+
+  /// True when the shape is new (empty shapes never count).
+  bool add_divergence_shape(const std::string& shape) {
+    if (shape.empty()) return false;
+    return shapes_.insert(shape).second;
+  }
+
+  [[nodiscard]] std::size_t unique_states() const { return states_.size(); }
+  [[nodiscard]] std::size_t divergence_shapes() const {
+    return shapes_.size();
+  }
+
+ private:
+  std::set<StateKey128> states_;
+  std::set<std::string> shapes_;
+};
+
+}  // namespace nucon::fuzz

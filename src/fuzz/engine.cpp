@@ -1,0 +1,229 @@
+#include "fuzz/engine.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <sstream>
+
+#include "exp/thread_pool.hpp"
+#include "fuzz/coverage.hpp"
+#include "fuzz/mutator.hpp"
+
+namespace nucon::fuzz {
+namespace {
+
+std::string counts_of(const Genome& g) {
+  std::size_t crashes = 0;
+  for (Time c : g.crashes) crashes += (c != kNeverCrashes);
+  std::ostringstream os;
+  os << g.deliveries.size() << "d/" << g.fd_perturbs.size() << "p/" << crashes
+     << "c";
+  return os.str();
+}
+
+}  // namespace
+
+FuzzResult run_fuzz(const EngineOptions& opts) {
+  const auto started = std::chrono::steady_clock::now();
+  const auto out_of_time = [&opts, started] {
+    if (opts.time_budget_seconds <= 0.0) return false;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started)
+               .count() >= opts.time_budget_seconds;
+  };
+
+  Rng master(opts.master_seed);
+  CoverageMap coverage;
+  FuzzResult result;
+  exp::ThreadPool pool(opts.threads);
+
+  // ---- candidate generation (always serial, master-Rng driven) ---------
+  std::vector<Genome> batch;
+  bool seeded = false;
+  const auto next_batch = [&]() {
+    batch.clear();
+    if (!seeded) {
+      seeded = true;
+      Genome base;
+      base.target = opts.target;
+      base.seed = master.next();
+      batch.push_back(base);  // the pure seeded-policy run
+      Mutator m(master.next());
+      for (std::size_t i = 0; i < opts.seed_genomes; ++i) {
+        batch.push_back(m.random_genome(opts.target));
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < opts.batch_size; ++i) {
+      const std::size_t parent = result.corpus.empty()
+                                     ? 0
+                                     : master.below(result.corpus.size());
+      const std::uint64_t child_seed = master.next();
+      Mutator m(child_seed);
+      batch.push_back(result.corpus.empty()
+                          ? m.random_genome(opts.target)
+                          : m.mutate(result.corpus[parent]));
+    }
+  };
+
+  // ---- fuzzing loop: parallel execute, serial merge in batch order -----
+  while (result.stats.execs < opts.max_execs &&
+         result.finds.size() < opts.max_finds && !out_of_time()) {
+    next_batch();
+    if (result.stats.execs + batch.size() > opts.max_execs) {
+      batch.resize(opts.max_execs - result.stats.execs);
+    }
+    if (batch.empty()) break;
+
+    std::vector<std::future<ExecutionResult>> done;
+    done.reserve(batch.size());
+    for (const Genome& g : batch) {
+      done.push_back(pool.submit([&g] { return execute_genome(g); }));
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const ExecutionResult exec = done[i].get();
+      const std::size_t exec_index = result.stats.execs++;
+
+      const std::size_t fresh_states = coverage.add_states(exec.state_keys);
+      const bool fresh_shape =
+          coverage.add_divergence_shape(exec.divergence_shape);
+
+      if (!exec.violation.empty() && result.finds.size() < opts.max_finds) {
+        bool duplicate = false;
+        for (const Find& f : result.finds) {
+          duplicate = duplicate || (f.violation == exec.violation &&
+                                    f.divergence_shape ==
+                                        exec.divergence_shape);
+        }
+        if (!duplicate) {
+          Find f;
+          f.genome = batch[i];
+          f.minimized = batch[i];
+          f.violation = exec.violation;
+          f.divergence_shape = exec.divergence_shape;
+          f.exec_index = exec_index;
+          result.finds.push_back(std::move(f));
+        }
+      }
+      if (fresh_states > 0 || fresh_shape || !exec.violation.empty()) {
+        result.corpus.push_back(batch[i]);
+      }
+    }
+    // The corpus must never be empty once something ran; without it the
+    // mutation loop has no parents. (Only reachable when no automaton in
+    // the target supports state encoding AND nothing diverged.)
+    if (result.corpus.empty()) result.corpus.push_back(batch.front());
+    result.stats.coverage_curve.push_back({result.stats.execs,
+                                           coverage.unique_states(),
+                                           result.corpus.size()});
+  }
+
+  // ---- minimization (serial, after the campaign) -----------------------
+  if (opts.minimize) {
+    for (Find& f : result.finds) {
+      MinimizeStats ms;
+      f.minimized = minimize_violation(f.genome, f.violation, &ms);
+      result.stats.minimize_probes += ms.probes;
+    }
+  }
+
+  result.stats.corpus_size = result.corpus.size();
+  result.stats.unique_states = coverage.unique_states();
+  result.stats.divergence_shapes = coverage.divergence_shapes();
+  result.stats.finds = result.finds.size();
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  return result;
+}
+
+obs::BenchReport fuzz_report(const EngineOptions& opts,
+                             const FuzzResult& result) {
+  obs::BenchReport report;
+  report.name = "fuzz";
+
+  obs::TableSection campaign;
+  campaign.title = "campaign algo=" + std::string(exp::algo_name(
+                       opts.target.algo)) +
+                   " n=" + std::to_string(opts.target.n) +
+                   " master-seed=" + std::to_string(opts.master_seed);
+  campaign.headers = {"metric", "value"};
+  const FuzzStats& s = result.stats;
+  campaign.rows = {
+      {"execs", std::to_string(s.execs)},
+      {"corpus", std::to_string(s.corpus_size)},
+      {"unique_states", std::to_string(s.unique_states)},
+      {"divergence_shapes", std::to_string(s.divergence_shapes)},
+      {"finds", std::to_string(s.finds)},
+      {"minimize_probes", std::to_string(s.minimize_probes)},
+  };
+  report.tables.push_back(std::move(campaign));
+
+  obs::TableSection curve;
+  curve.title = "coverage over execs";
+  curve.headers = {"execs", "unique_states", "corpus"};
+  // Downsample long campaigns to ~32 evenly spaced rows (deterministic:
+  // pure index arithmetic), always keeping the final row.
+  const std::size_t points = result.stats.coverage_curve.size();
+  const std::size_t stride = points <= 32 ? 1 : (points + 31) / 32;
+  for (std::size_t i = 0; i < points; i += stride) {
+    const auto& c = result.stats.coverage_curve[i];
+    curve.rows.push_back({std::to_string(c[0]), std::to_string(c[1]),
+                          std::to_string(c[2])});
+  }
+  if (points > 0 && (points - 1) % stride != 0) {
+    const auto& c = result.stats.coverage_curve[points - 1];
+    curve.rows.push_back({std::to_string(c[0]), std::to_string(c[1]),
+                          std::to_string(c[2])});
+  }
+  report.tables.push_back(std::move(curve));
+
+  obs::TableSection finds;
+  finds.title = "finds";
+  finds.headers = {"find", "violation", "shape", "exec",
+                   "genes",  "min-genes"};
+  for (std::size_t k = 0; k < result.finds.size(); ++k) {
+    const Find& f = result.finds[k];
+    finds.rows.push_back({std::to_string(k), f.violation, f.divergence_shape,
+                          std::to_string(f.exec_index), counts_of(f.genome),
+                          counts_of(f.minimized)});
+  }
+  report.tables.push_back(std::move(finds));
+  return report;
+}
+
+bool write_artifacts(const FuzzResult& result, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+
+  const auto write = [&dir](const std::string& name, const std::string& body) {
+    std::ofstream f(dir + "/" + name, std::ios::binary | std::ios::trunc);
+    f << body;
+    return f.good();
+  };
+
+  bool ok = true;
+  for (std::size_t i = 0; i < result.corpus.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "cov-%04zu.genome", i);
+    ok = write(name, result.corpus[i].to_string()) && ok;
+  }
+  for (std::size_t k = 0; k < result.finds.size(); ++k) {
+    const Find& f = result.finds[k];
+    const std::string base = "find-" + std::to_string(k);
+    ok = write(base + ".genome", f.genome.to_string()) && ok;
+    ok = write(base + ".min.genome", f.minimized.to_string()) && ok;
+    ExecOptions eo;
+    eo.collect_coverage = false;
+    eo.full_trace = true;
+    ok = write(base + ".trace.jsonl",
+               execute_genome(f.minimized, eo).trace_jsonl) &&
+         ok;
+  }
+  return ok;
+}
+
+}  // namespace nucon::fuzz

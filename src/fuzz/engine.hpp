@@ -1,0 +1,94 @@
+// The coverage-guided fuzzing loop.
+//
+// Determinism discipline (the sweep engine's, transplanted): candidate
+// genomes are generated serially from one master Rng, executed in parallel
+// on an exp::ThreadPool with futures awaited in submission order, and
+// merged serially in batch order — coverage admission, find selection and
+// every counter happen in the merge. A campaign with a fixed master seed
+// and a fixed execution budget therefore produces a bit-identical corpus,
+// find list and report body at any thread count. A wall-clock budget
+// (checked only at batch boundaries) trades that for a time box: it can
+// only stop the same deterministic sequence earlier or later, never
+// reorder it.
+#pragma once
+
+#include <array>
+
+#include "fuzz/genome.hpp"
+#include "fuzz/minimize.hpp"
+#include "obs/report.hpp"
+
+namespace nucon::fuzz {
+
+struct EngineOptions {
+  TargetSpec target;
+  /// Seeds everything: initial genomes, parent selection, child mutation
+  /// seeds. Same master seed -> same campaign.
+  std::uint64_t master_seed = 1;
+  /// Hard execution budget (fuzzing executions; minimization probes are
+  /// counted separately). The determinism guarantee is phrased over this.
+  std::size_t max_execs = 2048;
+  /// Optional wall-clock box, checked at batch boundaries; 0 disables.
+  double time_budget_seconds = 0.0;
+  /// Candidates per batch. Fixed regardless of thread count, so the merge
+  /// order never depends on parallelism.
+  std::size_t batch_size = 32;
+  /// Worker threads; 0 picks hardware concurrency, 1 runs serial.
+  unsigned threads = 1;
+  /// Fresh random genomes executed before mutation starts (plus the
+  /// all-default genome, which is always seeded).
+  std::size_t seed_genomes = 8;
+  /// Stop after this many distinct finds (deduplicated by violation kind +
+  /// divergence shape).
+  std::size_t max_finds = 4;
+  /// ddmin every find after the campaign (serial, deterministic).
+  bool minimize = true;
+};
+
+/// One property violation the campaign discovered.
+struct Find {
+  Genome genome;     // as discovered
+  Genome minimized;  // after ddmin (== genome when minimization is off)
+  std::string violation;
+  std::string divergence_shape;
+  /// Execution index (0-based, in deterministic merge order) that hit it.
+  std::size_t exec_index = 0;
+};
+
+struct FuzzStats {
+  std::size_t execs = 0;
+  std::size_t corpus_size = 0;
+  std::size_t unique_states = 0;
+  std::size_t divergence_shapes = 0;
+  std::size_t finds = 0;
+  std::size_t minimize_probes = 0;
+  /// One {execs, unique_states, corpus_size} snapshot per merged batch —
+  /// the coverage-over-time curve the BENCH report plots.
+  std::vector<std::array<std::size_t, 3>> coverage_curve;
+  /// Wall clock of the whole campaign. Nondeterministic; never enters the
+  /// report body, only its timings map.
+  double wall_seconds = 0.0;
+};
+
+struct FuzzResult {
+  std::vector<Genome> corpus;  // admission order
+  std::vector<Find> finds;     // discovery order
+  FuzzStats stats;
+};
+
+[[nodiscard]] FuzzResult run_fuzz(const EngineOptions& opts);
+
+/// The BENCH_fuzz report body: campaign counters, a downsampled coverage
+/// curve, one row per find. Pure function of (opts, result) — timings
+/// (wall clock, execs/s) are the caller's to add to report.timings.
+[[nodiscard]] obs::BenchReport fuzz_report(const EngineOptions& opts,
+                                           const FuzzResult& result);
+
+/// Writes the replay artifacts into `dir`: every corpus genome
+/// (cov-NNNN.genome), and per find the discovered genome (find-K.genome),
+/// the minimized genome (find-K.min.genome) and a full JSONL trace of the
+/// minimized replay (find-K.trace.jsonl, ready for trace_explain).
+/// Returns false on any I/O failure.
+bool write_artifacts(const FuzzResult& result, const std::string& dir);
+
+}  // namespace nucon::fuzz

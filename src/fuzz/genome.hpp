@@ -1,0 +1,137 @@
+// The schedule genome: a compact, mutable encoding of one adversary
+// strategy against one target algorithm.
+//
+// The randomized scheduler samples admissible runs from a seed; the model
+// checker enumerates every schedule of a tiny system. The fuzzer sits
+// between them: a genome pins the *interesting* scheduling decisions —
+// per-step delivery choices (via SchedulerOptions::inject_delivery), crash
+// times, and scripted perturbations of the failure-detector outputs —
+// while everything the genome leaves open still comes from the seeded
+// policy. Executing a genome is therefore a pure function: same bytes in,
+// same run, same verdict, same coverage, on any thread of any machine.
+// That purity is what makes mutation, corpus replay, and ddmin
+// minimization (fuzz/minimize.hpp) trustworthy.
+//
+// Genomes serialize to a line-oriented text format ("nucon-genome v1",
+// see to_string) so minimized counterexamples can be committed under
+// tests/corpus/ and diffed by humans.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/model_checker.hpp"
+#include "exp/sweep.hpp"
+
+namespace nucon::fuzz {
+
+/// What the genome runs against: the algorithm plus the fixed system
+/// parameters the mutator never touches (the adversary mutates *within*
+/// this arena).
+struct TargetSpec {
+  exp::Algo algo = exp::Algo::kNaive;
+  Pid n = 4;
+  /// Oracle stabilization time (same meaning as SweepPoint::stabilize).
+  Time stabilize = 120;
+  FaultyQuorumBehavior faulty_mode = FaultyQuorumBehavior::kAdversarialDisjoint;
+  /// Per-execution step cap. Small by design: the fuzzer wants many short
+  /// runs, and minimized counterexamples are short by construction.
+  std::int64_t max_steps = 20'000;
+
+  friend bool operator==(const TargetSpec&, const TargetSpec&) = default;
+};
+
+/// How one FD perturbation gene rewrites the oracle's answer.
+enum class PerturbKind {
+  kLeader,       // leader := target
+  kQuorumDrop,   // quorum := quorum - {target}
+  kQuorumAdd,    // quorum := quorum + {target}
+  kSuspectFlip,  // suspects := suspects xor {target}
+};
+
+/// Rewrites the FD output of process `p` for every query with global time
+/// in [from_t, from_t + count). Perturbations step OUTSIDE the detector's
+/// specification on purpose — they model a detector misbehaving — so a
+/// violation found on a spec-respecting algorithm is only meaningful when
+/// the minimized genome carries no perturbation genes (the minimizer
+/// drops every gene the violation does not need).
+struct FdPerturbGene {
+  Pid p = 0;
+  Time from_t = 0;
+  Time count = 1;
+  PerturbKind kind = PerturbKind::kLeader;
+  Pid target = 0;
+
+  friend bool operator==(const FdPerturbGene&, const FdPerturbGene&) = default;
+};
+
+/// One adversary strategy. Delivery genes are indexed by *global step
+/// count* — the scheduler consults gene k at its k-th live-process step,
+/// whether or not messages are pending — so resetting a gene to
+/// kInjectDefer never shifts the meaning of later genes (the property the
+/// chunk-reset ddmin relies on). Steps beyond the gene vector fall back to
+/// the seeded policy.
+struct Genome {
+  TargetSpec target;
+  /// Seeds the oracle stack and the residual (non-injected) scheduler
+  /// policy; same offsets as the sweep engine via exp::AlgoOracles.
+  std::uint64_t seed = 1;
+  /// Crash-time gene per process; kNeverCrashes = correct. Empty means
+  /// all correct. At least one process is always kept correct.
+  std::vector<Time> crashes;
+  std::vector<FdPerturbGene> fd_perturbs;
+  /// Per-step delivery genes: kInjectDefer, kInjectLambda, or an index
+  /// (taken modulo the pending count at that step).
+  std::vector<std::int32_t> deliveries;
+  /// Expected outcome, for committed corpus entries: "ok" or a violation
+  /// kind ("validity", "nonuniform", "uniform"). Empty = unspecified;
+  /// serialized only when set. Not part of the executed strategy.
+  std::string expected;
+
+  friend bool operator==(const Genome&, const Genome&) = default;
+
+  /// "nucon-genome v1" text; parse() round-trips it exactly.
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static std::optional<Genome> parse(const std::string& text);
+};
+
+/// The failure pattern a genome's crash genes denote.
+[[nodiscard]] FailurePattern failure_pattern_of(const Genome& g);
+
+struct ExecOptions {
+  /// Hash every stepping automaton's complete state into the per-run
+  /// coverage key set (the expensive part of an execution; the minimizer
+  /// turns it off).
+  bool collect_coverage = true;
+  /// Record a full JSONL trace (steps/sends/delivers/oracle/decides) into
+  /// ExecutionResult::trace_jsonl. Off, only decide events are recorded —
+  /// enough for the divergence signal at near-zero cost.
+  bool full_trace = false;
+};
+
+/// What one execution produced: the verdict and the coverage signal.
+struct ExecutionResult {
+  ConsensusRunStats stats;
+  /// Sorted, deduplicated per-process state keys touched by the run
+  /// (model checker's 128-bit double-mix; empty when coverage is off).
+  std::vector<StateKey128> state_keys;
+  /// Canonical description of the first agreement divergence, or empty.
+  /// New shapes are a coverage signal alongside new state keys.
+  std::string divergence_shape;
+  /// "" (no violation), "validity", "nonuniform", or "uniform". Uniform
+  /// disagreement only counts as a violation for algorithms expected to
+  /// solve uniform consensus — for A_nuc/StackedNuc it is the paper's
+  /// point, not a bug. Termination failures are never violations (the
+  /// injected schedule may simply starve the run).
+  std::string violation;
+  /// The JSONL trace (decides-only, or full when requested).
+  std::string trace_jsonl;
+};
+
+/// Executes a genome deterministically. Throws std::invalid_argument for
+/// an infeasible target (n out of range, max_steps <= 0, bad crash vector).
+[[nodiscard]] ExecutionResult execute_genome(const Genome& g,
+                                             const ExecOptions& opts = {});
+
+}  // namespace nucon::fuzz

@@ -1,0 +1,158 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+
+namespace nucon::fuzz {
+namespace {
+
+bool probe(const GenomePredicate& pred, const Genome& cand,
+           MinimizeStats* stats) {
+  if (stats != nullptr) ++stats->probes;
+  return pred(cand);
+}
+
+/// Chunk-reset ddmin over the delivery genes: resetting a range to
+/// kInjectDefer (instead of erasing it) keeps every later gene at its step
+/// position, so candidates stay aligned with the run.
+bool shrink_deliveries(Genome& g, const GenomePredicate& pred,
+                       MinimizeStats* stats) {
+  bool changed = false;
+  std::size_t chunk = (g.deliveries.size() + 1) / 2;
+  while (chunk >= 1) {
+    for (std::size_t start = 0; start < g.deliveries.size(); start += chunk) {
+      const std::size_t end = std::min(start + chunk, g.deliveries.size());
+      bool all_defer = true;
+      for (std::size_t i = start; i < end; ++i) {
+        all_defer = all_defer && g.deliveries[i] == kInjectDefer;
+      }
+      if (all_defer) continue;
+      Genome cand = g;
+      for (std::size_t i = start; i < end; ++i) {
+        cand.deliveries[i] = kInjectDefer;
+      }
+      if (probe(pred, cand, stats)) {
+        g = std::move(cand);
+        changed = true;
+      }
+    }
+    if (chunk == 1) break;
+    chunk /= 2;
+  }
+
+  // A gene vector ending in defers behaves exactly like the truncated one
+  // (steps past the end defer anyway), but probe the truncation so purely
+  // structural predicates in tests are honored too.
+  if (!g.deliveries.empty() && g.deliveries.back() == kInjectDefer) {
+    Genome cand = g;
+    while (!cand.deliveries.empty() &&
+           cand.deliveries.back() == kInjectDefer) {
+      cand.deliveries.pop_back();
+    }
+    if (probe(pred, cand, stats)) {
+      g = std::move(cand);
+      changed = true;
+    }
+  }
+
+  // Single-gene simplification: any surviving index gene prefers the
+  // canonical oldest-message choice.
+  for (std::size_t i = 0; i < g.deliveries.size(); ++i) {
+    if (g.deliveries[i] > 0) {
+      Genome cand = g;
+      cand.deliveries[i] = 0;
+      if (probe(pred, cand, stats)) {
+        g = std::move(cand);
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+/// List ddmin over the FD perturbation genes (real removal: order carries
+/// no positional meaning here).
+bool shrink_perturbs(Genome& g, const GenomePredicate& pred,
+                     MinimizeStats* stats) {
+  bool changed = false;
+  std::size_t chunk = (g.fd_perturbs.size() + 1) / 2;
+  while (chunk >= 1 && !g.fd_perturbs.empty()) {
+    bool removed_any = false;
+    for (std::size_t start = 0; start < g.fd_perturbs.size();) {
+      const std::size_t end = std::min(start + chunk, g.fd_perturbs.size());
+      Genome cand = g;
+      cand.fd_perturbs.erase(
+          cand.fd_perturbs.begin() + static_cast<std::ptrdiff_t>(start),
+          cand.fd_perturbs.begin() + static_cast<std::ptrdiff_t>(end));
+      if (probe(pred, cand, stats)) {
+        g = std::move(cand);
+        changed = removed_any = true;
+        // Do not advance: the next chunk slid into `start`.
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1 && !removed_any) break;
+    if (chunk > 1) chunk /= 2;
+  }
+  return changed;
+}
+
+/// Clears crash genes the violation does not need, then tries dropping the
+/// whole vector (= all correct).
+bool shrink_crashes(Genome& g, const GenomePredicate& pred,
+                    MinimizeStats* stats) {
+  bool changed = false;
+  for (std::size_t p = 0; p < g.crashes.size(); ++p) {
+    if (g.crashes[p] == kNeverCrashes) continue;
+    Genome cand = g;
+    cand.crashes[p] = kNeverCrashes;
+    if (probe(pred, cand, stats)) {
+      g = std::move(cand);
+      changed = true;
+    }
+  }
+  const bool all_correct =
+      std::all_of(g.crashes.begin(), g.crashes.end(),
+                  [](Time c) { return c == kNeverCrashes; });
+  if (!g.crashes.empty() && all_correct) {
+    Genome cand = g;
+    cand.crashes.clear();
+    if (probe(pred, cand, stats)) {
+      g = std::move(cand);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+Genome minimize_genome(const Genome& g, const GenomePredicate& still_fails,
+                       MinimizeStats* stats) {
+  if (!probe(still_fails, g, stats)) return g;  // precondition violated
+  Genome out = g;
+  // Fixpoint over the passes: clearing a crash can make delivery genes
+  // removable and vice versa. Bounded, since every pass only shrinks.
+  for (int round = 0; round < 4; ++round) {
+    bool changed = false;
+    changed |= shrink_perturbs(out, still_fails, stats);
+    changed |= shrink_crashes(out, still_fails, stats);
+    changed |= shrink_deliveries(out, still_fails, stats);
+    if (!changed) break;
+  }
+  return out;
+}
+
+Genome minimize_violation(const Genome& g, const std::string& violation,
+                          MinimizeStats* stats) {
+  GenomePredicate pred = [&violation](const Genome& cand) {
+    ExecOptions eo;
+    eo.collect_coverage = false;
+    return execute_genome(cand, eo).violation == violation;
+  };
+  Genome out = minimize_genome(g, pred, stats);
+  out.expected = violation;
+  return out;
+}
+
+}  // namespace nucon::fuzz

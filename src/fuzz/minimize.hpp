@@ -1,0 +1,44 @@
+// ddmin-style genome minimization.
+//
+// Given a genome whose execution violates a property and a predicate that
+// re-checks the violation, shrink the genome until every remaining gene is
+// load-bearing: chunk-resetting over the delivery genes (reset to
+// kInjectDefer rather than removed, so later genes keep their step
+// positions), list ddmin over the FD perturbation genes, crash-gene
+// clearing, and a final single-gene simplification sweep. Every candidate
+// is re-validated through the predicate — deterministically, because
+// execute_genome is a pure function — so the minimized genome is
+// guaranteed to still fail, and a fixpoint loop repeats the passes until
+// nothing shrinks.
+#pragma once
+
+#include <functional>
+
+#include "fuzz/genome.hpp"
+
+namespace nucon::fuzz {
+
+/// Returns true when the candidate still exhibits the violation being
+/// minimized. Generic so unit tests can minimize against synthetic
+/// predicates with a known minimal core.
+using GenomePredicate = std::function<bool(const Genome&)>;
+
+struct MinimizeStats {
+  /// Predicate evaluations (== candidate executions when the predicate
+  /// runs execute_genome).
+  std::size_t probes = 0;
+};
+
+/// Shrinks `g` under `still_fails`. Precondition: still_fails(g) is true;
+/// the result also satisfies it. `stats` (optional) accumulates probes.
+[[nodiscard]] Genome minimize_genome(const Genome& g,
+                                     const GenomePredicate& still_fails,
+                                     MinimizeStats* stats = nullptr);
+
+/// Convenience wrapper for real finds: the predicate re-executes the
+/// candidate (coverage off) and checks it still yields `violation`.
+[[nodiscard]] Genome minimize_violation(const Genome& g,
+                                        const std::string& violation,
+                                        MinimizeStats* stats = nullptr);
+
+}  // namespace nucon::fuzz

@@ -1,0 +1,159 @@
+#include "fuzz/mutator.hpp"
+
+#include <algorithm>
+
+namespace nucon::fuzz {
+namespace {
+
+/// Interesting time horizon for crash and perturbation genes: around and
+/// past stabilization, but never beyond what the step budget can reach.
+Time horizon_of(const TargetSpec& t) {
+  return std::min<Time>(t.max_steps,
+                        std::max<Time>(2 * std::max<Time>(t.stabilize, 1), 256));
+}
+
+std::size_t count_correct(const std::vector<Time>& crashes) {
+  std::size_t correct = 0;
+  for (Time c : crashes) correct += (c == kNeverCrashes);
+  return correct;
+}
+
+constexpr std::size_t kMaxPerturbGenes = 16;
+constexpr std::size_t kMaxDeliveryGenes = 4096;
+
+}  // namespace
+
+Genome Mutator::random_genome(const TargetSpec& target) {
+  Genome g;
+  g.target = target;
+  g.seed = rng_.next();
+  const Pid faults = static_cast<Pid>(rng_.below(
+      static_cast<std::uint64_t>(target.n)));  // 0 .. n-1 crashes
+  if (faults > 0) {
+    g.crashes.assign(static_cast<std::size_t>(target.n), kNeverCrashes);
+    const Time horizon = horizon_of(target);
+    for (Pid p : rng_.pick_subset(ProcessSet::full(target.n), faults)) {
+      g.crashes[static_cast<std::size_t>(p)] = rng_.range(1, horizon);
+    }
+  }
+  return g;
+}
+
+Genome Mutator::mutate(const Genome& parent) {
+  Genome g = parent;
+  g.expected.clear();  // a mutant's outcome is unknown by definition
+  std::size_t rounds = 1;
+  if (rng_.chance(1, 4)) rounds += rng_.below(4);  // havoc: stack a few
+  for (std::size_t i = 0; i < rounds; ++i) mutate_once(g);
+  return g;
+}
+
+void Mutator::mutate_once(Genome& g) {
+  const TargetSpec& t = g.target;
+  const Time horizon = horizon_of(t);
+  switch (rng_.below(8)) {
+    case 0: {  // reseed: new oracle histories + residual schedule
+      g.seed = rng_.next();
+      break;
+    }
+    case 1: {  // crash-gene edit
+      if (g.crashes.empty()) {
+        g.crashes.assign(static_cast<std::size_t>(t.n), kNeverCrashes);
+      }
+      const auto p = rng_.below(static_cast<std::uint64_t>(t.n));
+      if (g.crashes[p] == kNeverCrashes) {
+        // Crash p — unless it is the last correct process.
+        if (count_correct(g.crashes) > 1) g.crashes[p] = rng_.range(1, horizon);
+      } else if (rng_.chance(1, 2)) {
+        g.crashes[p] = kNeverCrashes;  // revive
+      } else {
+        g.crashes[p] = rng_.range(1, horizon);  // move the crash
+      }
+      // Canonical form: "nobody crashes" is the empty vector (an all-never
+      // vector serializes without crash lines and would not round-trip).
+      if (count_correct(g.crashes) == g.crashes.size()) g.crashes.clear();
+      break;
+    }
+    case 2: {  // append a block of delivery genes
+      const std::size_t block = 1 + rng_.below(64);
+      for (std::size_t i = 0;
+           i < block && g.deliveries.size() < kMaxDeliveryGenes; ++i) {
+        const std::uint64_t r = rng_.below(10);
+        if (r < 3) {
+          g.deliveries.push_back(kInjectDefer);
+        } else if (r < 6) {
+          g.deliveries.push_back(kInjectLambda);
+        } else {
+          g.deliveries.push_back(static_cast<std::int32_t>(rng_.below(6)));
+        }
+      }
+      break;
+    }
+    case 3: {  // rewrite one delivery gene
+      if (g.deliveries.empty()) {
+        g.deliveries.push_back(static_cast<std::int32_t>(rng_.below(6)));
+        break;
+      }
+      const auto i = rng_.below(g.deliveries.size());
+      const std::uint64_t r = rng_.below(10);
+      g.deliveries[i] = r < 3   ? kInjectDefer
+                        : r < 6 ? kInjectLambda
+                                : static_cast<std::int32_t>(rng_.below(6));
+      break;
+    }
+    case 4: {  // truncate the delivery tail
+      if (!g.deliveries.empty()) {
+        g.deliveries.resize(rng_.below(g.deliveries.size() + 1));
+      }
+      break;
+    }
+    case 5: {  // add an FD perturbation gene
+      if (g.fd_perturbs.size() >= kMaxPerturbGenes) break;
+      FdPerturbGene pg;
+      pg.p = static_cast<Pid>(rng_.below(static_cast<std::uint64_t>(t.n)));
+      pg.from_t = rng_.range(0, horizon);
+      pg.count = 1 + rng_.range(0, 49);
+      pg.kind = static_cast<PerturbKind>(rng_.below(4));
+      pg.target = static_cast<Pid>(rng_.below(static_cast<std::uint64_t>(t.n)));
+      g.fd_perturbs.push_back(pg);
+      break;
+    }
+    case 6: {  // rewrite one field of one perturbation gene
+      if (g.fd_perturbs.empty()) break;
+      FdPerturbGene& pg = g.fd_perturbs[rng_.below(g.fd_perturbs.size())];
+      switch (rng_.below(4)) {
+        case 0:
+          pg.p = static_cast<Pid>(rng_.below(static_cast<std::uint64_t>(t.n)));
+          break;
+        case 1:
+          pg.from_t = rng_.range(0, horizon);
+          break;
+        case 2:
+          pg.kind = static_cast<PerturbKind>(rng_.below(4));
+          break;
+        default:
+          pg.target =
+              static_cast<Pid>(rng_.below(static_cast<std::uint64_t>(t.n)));
+          break;
+      }
+      break;
+    }
+    default: {  // remove one perturbation gene
+      if (!g.fd_perturbs.empty()) {
+        g.fd_perturbs.erase(g.fd_perturbs.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                rng_.below(g.fd_perturbs.size())));
+      }
+      break;
+    }
+  }
+}
+
+Bytes Mutator::random_payload(std::size_t max_len) {
+  const std::size_t len = rng_.below(max_len + 1);  // boundary inclusive
+  Bytes out(len);
+  for (std::uint8_t& b : out) b = static_cast<std::uint8_t>(rng_.below(256));
+  return out;
+}
+
+}  // namespace nucon::fuzz

@@ -1,0 +1,41 @@
+// Genome generation and mutation.
+//
+// All randomness comes from one seeded Rng, so a Mutator constructed from
+// a seed is a deterministic genome stream: the engine derives one child
+// seed per candidate from its master generator, which is what makes the
+// whole fuzzing campaign bit-identical at any thread count.
+#pragma once
+
+#include "fuzz/genome.hpp"
+#include "util/rng.hpp"
+
+namespace nucon::fuzz {
+
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t seed) : rng_(seed) {}
+
+  /// A fresh genome for the target: random seed, random crash genes, no
+  /// delivery or perturbation genes yet (the seeded policy explores first;
+  /// mutation pins choices afterwards).
+  [[nodiscard]] Genome random_genome(const TargetSpec& target);
+
+  /// One mutation of `parent`: reseed, crash-gene edit, delivery-gene
+  /// block append/edit/truncate, or FD-perturbation edit — occasionally
+  /// several stacked (havoc). The child always validates.
+  [[nodiscard]] Genome mutate(const Genome& parent);
+
+  /// A random payload of length uniform in [0, max_len] INCLUSIVE — the
+  /// boundary length is reachable, unlike the pre-fuzzer ad-hoc loop in
+  /// fuzz_test.cpp that silently capped one byte short.
+  [[nodiscard]] Bytes random_payload(std::size_t max_len);
+
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  void mutate_once(Genome& g);
+
+  Rng rng_;
+};
+
+}  // namespace nucon::fuzz

@@ -80,6 +80,11 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
   std::int64_t& m_decides = metrics.counter("scheduler.decides");
   trace::Histogram& m_delay = metrics.histogram("scheduler.delivery_delay");
   trace::Histogram& m_payload = metrics.histogram("scheduler.payload_bytes");
+  // Registered lazily: runs without the injection hook must keep
+  // byte-identical metrics content.
+  std::int64_t* m_injected =
+      opts.inject_delivery ? &metrics.counter("scheduler.injected_choices")
+                           : nullptr;
 
 #ifndef NUCON_DISABLE_TRACING
   const bool hash_states =
@@ -116,7 +121,22 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
       if (!fp.alive_at(p, now)) continue;
       anyone_stepped = true;
 
-      const auto delivery = choose_delivery(buffer, p, now, opts, rng);
+      std::optional<Delivery> delivery;
+      bool injected = false;
+      if (opts.inject_delivery) {
+        const std::size_t pending = buffer.pending_for(p);
+        const int choice = opts.inject_delivery(p, now, pending);
+        if (choice != kInjectDefer) {
+          injected = true;
+          ++*m_injected;
+          if (choice >= 0 && pending > 0) {
+            delivery = Delivery{static_cast<std::size_t>(choice) % pending,
+                                false, false};
+          }
+          // kInjectLambda (or an index with nothing pending) stays nullopt.
+        }
+      }
+      if (!injected) delivery = choose_delivery(buffer, p, now, opts, rng);
       std::optional<Message> msg;
       if (delivery) msg = buffer.take(p, delivery->index);
 

@@ -21,6 +21,10 @@ class TraceRecorder;
 
 namespace nucon {
 
+/// Return values for SchedulerOptions::inject_delivery (below).
+inline constexpr int kInjectDefer = -2;   ///< fall through to the seeded policy
+inline constexpr int kInjectLambda = -1;  ///< force a lambda (no-delivery) step
+
 struct SchedulerOptions {
   std::uint64_t seed = 1;
 
@@ -62,6 +66,21 @@ struct SchedulerOptions {
   std::function<void(const StepRecord&,
                      const std::vector<std::unique_ptr<Automaton>>&)>
       on_step;
+
+  /// Optional schedule-injection hook (the coverage-guided fuzzer's way of
+  /// replaying a genome). When set it is consulted once per live-process
+  /// step, BEFORE the seeded delivery policy, with the stepping process,
+  /// the global clock, and the number of messages pending for it:
+  ///   kInjectDefer  -> use the seeded policy (incl. fairness backstop);
+  ///   kInjectLambda -> force a lambda step, overriding the backstop;
+  ///   k >= 0        -> deliver pending message k % pending (lambda when
+  ///                    pending == 0).
+  /// The hook is called even when pending == 0, so an external gene
+  /// sequence indexed by step count never desynchronizes from the run.
+  /// Injected choices are counted in "scheduler.injected_choices" (the
+  /// counter is only registered when the hook is set, so runs without it
+  /// keep byte-identical metrics).
+  std::function<int(Pid p, Time now, std::size_t pending)> inject_delivery;
 
   /// Optional structured trace recorder (trace/trace_recorder.hpp). The
   /// scheduler feeds it typed step/send/deliver/oracle-query/decide events;

@@ -1,0 +1,88 @@
+// Regression corpus: every minimized genome committed under tests/corpus/
+// replays to exactly the verdict recorded in its `expected` line, and its
+// serialization round-trips byte for byte.
+//
+// The corpus is the fuzzer's long-term memory: a find minimized once (the
+// naive Sigma^nu contamination, the n=3 split-quorum shape, clean runs of
+// the safe algorithms) keeps being re-validated on every build, under
+// every sanitizer preset, at any thread count — execute_genome is a pure
+// function, so "expected nonuniform" is as strong as a golden file.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/genome.hpp"
+
+namespace nucon::fuzz {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(NUCON_TEST_CORPUS_DIR)) {
+    if (entry.path().extension() == ".genome") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
+TEST(FuzzCorpus, DirectoryIsNonempty) {
+  EXPECT_GE(corpus_files().size(), 4u)
+      << "tests/corpus/ lost its committed genomes";
+}
+
+TEST(FuzzCorpus, EveryGenomeReplaysToItsRecordedVerdict) {
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const std::string text = slurp(path);
+    const auto genome = Genome::parse(text);
+    ASSERT_TRUE(genome.has_value()) << "unparseable corpus entry";
+
+    // Byte-for-byte: the file IS the canonical serialization.
+    EXPECT_EQ(genome->to_string(), text);
+
+    // Committed entries must say what they are expected to do; "ok" means
+    // no violation.
+    ASSERT_FALSE(genome->expected.empty())
+        << "corpus entries must carry an `expected` line";
+
+    ExecOptions eo;
+    eo.collect_coverage = false;
+    const ExecutionResult result = execute_genome(*genome, eo);
+    const std::string want =
+        genome->expected == "ok" ? std::string() : genome->expected;
+    EXPECT_EQ(result.violation, want);
+  }
+}
+
+TEST(FuzzCorpus, ReplayIsBitStableAcrossRepetition) {
+  // Two replays of every entry produce identical traces — the property
+  // that lets the same files validate under default, asan and tsan
+  // presets interchangeably.
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const auto genome = Genome::parse(slurp(path));
+    ASSERT_TRUE(genome.has_value());
+    ExecOptions eo;
+    eo.collect_coverage = false;
+    const ExecutionResult a = execute_genome(*genome, eo);
+    const ExecutionResult b = execute_genome(*genome, eo);
+    EXPECT_EQ(a.trace_jsonl, b.trace_jsonl);
+    EXPECT_EQ(a.violation, b.violation);
+  }
+}
+
+}  // namespace
+}  // namespace nucon::fuzz

@@ -1,0 +1,175 @@
+// The fuzzing engine's determinism contract and the mutator's
+// serialization properties.
+//
+// Mirrors obs_report_test.cpp's pattern for the report layer: the same
+// campaign (master seed + execution budget) at 1 and at 8 threads must
+// produce identical corpus contents, coverage counters, find lists and
+// BENCH report bodies — the engine generates candidates serially and
+// merges in batch order, so parallelism must be invisible.
+#include <gtest/gtest.h>
+
+#include "fuzz/engine.hpp"
+#include "fuzz/mutator.hpp"
+
+namespace nucon::fuzz {
+namespace {
+
+TargetSpec small_naive_target() {
+  TargetSpec t;
+  t.algo = exp::Algo::kNaive;
+  t.n = 4;
+  t.stabilize = 120;
+  t.max_steps = 4000;
+  return t;
+}
+
+EngineOptions small_campaign(unsigned threads) {
+  EngineOptions opts;
+  opts.target = small_naive_target();
+  opts.master_seed = 42;
+  opts.max_execs = 160;
+  opts.batch_size = 32;
+  opts.seed_genomes = 8;
+  opts.max_finds = 2;
+  opts.threads = threads;
+  return opts;
+}
+
+TEST(FuzzEngine, OneVsEightThreadsBitIdentical) {
+  const EngineOptions o1 = small_campaign(1);
+  const EngineOptions o8 = small_campaign(8);
+  const FuzzResult r1 = run_fuzz(o1);
+  const FuzzResult r8 = run_fuzz(o8);
+
+  // Corpus contents, in admission order.
+  ASSERT_EQ(r1.corpus.size(), r8.corpus.size());
+  for (std::size_t i = 0; i < r1.corpus.size(); ++i) {
+    EXPECT_EQ(r1.corpus[i].to_string(), r8.corpus[i].to_string()) << i;
+  }
+
+  // Finds, including the minimized genomes (the minimizer runs serially
+  // over a deterministic find list, so it is covered by the contract too).
+  ASSERT_EQ(r1.finds.size(), r8.finds.size());
+  for (std::size_t k = 0; k < r1.finds.size(); ++k) {
+    EXPECT_EQ(r1.finds[k].violation, r8.finds[k].violation);
+    EXPECT_EQ(r1.finds[k].divergence_shape, r8.finds[k].divergence_shape);
+    EXPECT_EQ(r1.finds[k].exec_index, r8.finds[k].exec_index);
+    EXPECT_EQ(r1.finds[k].genome.to_string(), r8.finds[k].genome.to_string());
+    EXPECT_EQ(r1.finds[k].minimized.to_string(),
+              r8.finds[k].minimized.to_string());
+  }
+
+  // Coverage counters and the per-batch curve.
+  EXPECT_EQ(r1.stats.execs, r8.stats.execs);
+  EXPECT_EQ(r1.stats.corpus_size, r8.stats.corpus_size);
+  EXPECT_EQ(r1.stats.unique_states, r8.stats.unique_states);
+  EXPECT_EQ(r1.stats.divergence_shapes, r8.stats.divergence_shapes);
+  EXPECT_EQ(r1.stats.minimize_probes, r8.stats.minimize_probes);
+  EXPECT_EQ(r1.stats.coverage_curve, r8.stats.coverage_curve);
+
+  // BENCH report body (include_timings=false — wall clock is the one
+  // thing allowed to differ).
+  EXPECT_EQ(obs::report_json(fuzz_report(o1, r1), false),
+            obs::report_json(fuzz_report(o8, r8), false));
+}
+
+TEST(FuzzEngine, RediscoversNaiveViolationAndMinimizes) {
+  // The acceptance scenario in miniature: a fixed-seed campaign against
+  // the naive Sigma^nu-quorum substitution finds a nonuniform agreement
+  // violation, and the minimized genome still reproduces it.
+  EngineOptions opts = small_campaign(0);  // hardware threads
+  opts.max_execs = 2048;
+  const FuzzResult result = run_fuzz(opts);
+  ASSERT_FALSE(result.finds.empty());
+  const Find& f = result.finds.front();
+  EXPECT_EQ(f.violation, "nonuniform");
+
+  ExecOptions eo;
+  eo.collect_coverage = false;
+  EXPECT_EQ(execute_genome(f.minimized, eo).violation, "nonuniform");
+  // Minimization never grows a genome.
+  EXPECT_LE(f.minimized.deliveries.size(), f.genome.deliveries.size());
+  EXPECT_LE(f.minimized.fd_perturbs.size(), f.genome.fd_perturbs.size());
+}
+
+TEST(FuzzEngine, ExecutionIsPure) {
+  Mutator mut(7);
+  const Genome g = mut.mutate(mut.random_genome(small_naive_target()));
+  const ExecutionResult a = execute_genome(g);
+  const ExecutionResult b = execute_genome(g);
+  EXPECT_EQ(a.state_keys, b.state_keys);
+  EXPECT_EQ(a.divergence_shape, b.divergence_shape);
+  EXPECT_EQ(a.violation, b.violation);
+  EXPECT_EQ(a.trace_jsonl, b.trace_jsonl);
+  EXPECT_EQ(a.stats.metrics, b.stats.metrics);
+}
+
+TEST(FuzzEngine, DeliveryGenesReachTheScheduler) {
+  // All-lambda genes for the whole run: nothing may ever be delivered,
+  // and every step must be counted as injected.
+  Genome g;
+  g.target = small_naive_target();
+  g.target.max_steps = 200;
+  g.seed = 5;
+  g.deliveries.assign(200, kInjectLambda);
+  const ExecutionResult r = execute_genome(g);
+  EXPECT_EQ(r.stats.metrics.counter_value("scheduler.delivers"), 0);
+  EXPECT_EQ(r.stats.metrics.counter_value("scheduler.injected_choices"),
+            r.stats.metrics.counter_value("scheduler.steps"));
+  EXPECT_TRUE(r.violation.empty());  // starvation is not a violation
+}
+
+TEST(FuzzMutator, SerializationRoundTrips) {
+  Mutator mut(99);
+  TargetSpec targets[] = {small_naive_target(), TargetSpec{}};
+  targets[1].algo = exp::Algo::kAnuc;
+  targets[1].n = 5;
+  for (const TargetSpec& t : targets) {
+    Genome g = mut.random_genome(t);
+    for (int i = 0; i < 50; ++i) {
+      g = mut.mutate(g);
+      const std::string text = g.to_string();
+      const auto parsed = Genome::parse(text);
+      ASSERT_TRUE(parsed.has_value()) << text;
+      EXPECT_EQ(*parsed, g);
+      EXPECT_EQ(parsed->to_string(), text);
+    }
+  }
+}
+
+TEST(FuzzMutator, ExpectedVerdictFieldRoundTrips) {
+  Genome g;
+  g.target = small_naive_target();
+  g.expected = "nonuniform";
+  const auto parsed = Genome::parse(g.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->expected, "nonuniform");
+  EXPECT_EQ(*parsed, g);
+}
+
+TEST(FuzzMutator, ParseRejectsMalformedGenomes) {
+  EXPECT_FALSE(Genome::parse("").has_value());
+  EXPECT_FALSE(Genome::parse("nucon-genome v2\nend\n").has_value());
+  EXPECT_FALSE(Genome::parse("nucon-genome v1\n").has_value());  // no end
+  EXPECT_FALSE(
+      Genome::parse("nucon-genome v1\nalgo nope\nend\n").has_value());
+  EXPECT_FALSE(
+      Genome::parse("nucon-genome v1\nn 1\nend\n").has_value());
+  EXPECT_FALSE(Genome::parse("nucon-genome v1\ncrash 9 5\nend\n").has_value());
+  // Crashing every process leaves no correct process: invalid.
+  EXPECT_FALSE(Genome::parse("nucon-genome v1\nn 2\ncrash 0 5\ncrash 1 5\nend\n")
+                   .has_value());
+}
+
+TEST(FuzzMutator, MutantsAlwaysValidate) {
+  Mutator mut(3);
+  Genome g = mut.random_genome(small_naive_target());
+  for (int i = 0; i < 300; ++i) {
+    g = mut.mutate(g);
+    // failure_pattern_of validates; it throws on a malformed genome.
+    EXPECT_NO_THROW((void)failure_pattern_of(g)) << g.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace nucon::fuzz

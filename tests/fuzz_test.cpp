@@ -18,6 +18,7 @@
 #include "fd/composed.hpp"
 #include "fd/omega.hpp"
 #include "fd/sigma_nu.hpp"
+#include "fuzz/mutator.hpp"
 #include "reg/abd.hpp"
 #include "util/rng.hpp"
 
@@ -25,6 +26,10 @@ namespace nucon {
 namespace {
 
 constexpr Pid kN = 4;
+/// Payload length ceiling, INCLUSIVE: the ad-hoc `rng.below(40)` loop this
+/// file used before the fuzz subsystem landed could never produce a
+/// payload of 40+ bytes, so the boundary length went untested.
+constexpr std::size_t kMaxPayload = 40;
 
 FdValue rich_fd_value() {
   FdValue v = FdValue::of_leader(0);
@@ -33,22 +38,18 @@ FdValue rich_fd_value() {
   return v;
 }
 
-Bytes random_payload(Rng& rng) {
-  Bytes out(rng.below(40));
-  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
-  return out;
-}
-
 /// Feeds `rounds` random messages (and lambda steps) into the automaton.
+/// Payload generation reuses the fuzz subsystem's mutator, whose length
+/// distribution includes the boundary.
 void fuzz(Automaton& a, std::uint64_t seed, int rounds = 600) {
-  Rng rng(seed);
+  fuzz::Mutator mut(seed);
   std::vector<Outgoing> out;
   const FdValue d = rich_fd_value();
   for (int i = 0; i < rounds; ++i) {
     out.clear();
-    if (rng.chance(3, 4)) {
-      const Bytes payload = random_payload(rng);
-      const Incoming in{static_cast<Pid>(rng.below(kN)), &payload};
+    if (mut.rng().chance(3, 4)) {
+      const Bytes payload = mut.random_payload(kMaxPayload);
+      const Incoming in{static_cast<Pid>(mut.rng().below(kN)), &payload};
       a.step(&in, d, out);
     } else {
       a.step(nullptr, d, out);
@@ -111,6 +112,80 @@ TEST(Fuzz, EmptyAndTinyPayloads) {
   }
 }
 
+TEST(Fuzz, PayloadLengthBoundaries) {
+  // The mutator's length distribution is inclusive of the maximum, and
+  // every automaton tolerates payloads at and just past the old 40-byte
+  // ceiling (oversized fields, truncation points mid-varint, etc).
+  fuzz::Mutator mut(1234);
+  bool saw_max = false;
+  bool saw_empty = false;
+  for (int i = 0; i < 2000; ++i) {
+    const Bytes p = mut.random_payload(kMaxPayload);
+    ASSERT_LE(p.size(), kMaxPayload);
+    saw_max = saw_max || p.size() == kMaxPayload;
+    saw_empty = saw_empty || p.empty();
+  }
+  EXPECT_TRUE(saw_max) << "boundary length never generated";
+  EXPECT_TRUE(saw_empty);
+
+  const FdValue d = rich_fd_value();
+  for (const auto& [name, factory] : all_factories()) {
+    SCOPED_TRACE(name);
+    const auto automaton = factory(1);
+    std::vector<Outgoing> out;
+    Rng rng(99);
+    for (const std::size_t len : {std::size_t{39}, std::size_t{40},
+                                  std::size_t{41}, std::size_t{128}}) {
+      Bytes payload(len);
+      for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+      const Incoming in{2, &payload};
+      ASSERT_NO_THROW(automaton->step(&in, d, out)) << name << " len=" << len;
+    }
+  }
+}
+
+TEST(Fuzz, ReframedCrossTalkIsTolerated) {
+  // Multiplexer framing (reframe_sends) wraps a component's payload in a
+  // channel header. Deliver every protocol's messages REFRAMED under
+  // arbitrary channel bytes to every other protocol: a multiplexing
+  // automaton must reject garbage inside a well-formed frame, and a
+  // non-multiplexing automaton must reject the frame itself.
+  const auto factories = all_factories();
+  const FdValue d = rich_fd_value();
+
+  std::vector<Outgoing> harvested;
+  for (const auto& [name, factory] : factories) {
+    const auto a = factory(0);
+    for (int i = 0; i < 8; ++i) a->step(nullptr, d, harvested);
+  }
+  ASSERT_FALSE(harvested.empty());
+
+  for (const std::uint8_t channel : {0x00, 0x01, 0x02, 0xFF}) {
+    std::vector<Outgoing> reframed;
+    ByteWriter scratch;
+    std::vector<Outgoing> copy = harvested;
+    reframe_sends(copy, scratch,
+                  [channel](ByteWriter& w, const Bytes& payload) {
+                    w.u8(channel);
+                    w.raw(payload);
+                  },
+                  reframed);
+    ASSERT_EQ(reframed.size(), harvested.size());
+
+    for (const auto& [name, factory] : factories) {
+      SCOPED_TRACE(name);
+      const auto a = factory(1);
+      std::vector<Outgoing> out;
+      for (const Outgoing& o : reframed) {
+        const Bytes& payload = o.payload.get();
+        ASSERT_EQ(payload.front(), channel);  // framing really happened
+        const Incoming in{0, &payload};
+        ASSERT_NO_THROW(a->step(&in, d, out)) << name;
+      }
+    }
+  }
+}
+
 TEST(Fuzz, CrossProtocolTrafficIsTolerated) {
   // Deliver every protocol's genuine messages to every OTHER protocol.
   const auto factories = all_factories();
@@ -145,13 +220,14 @@ TEST(Fuzz, ConsensusSafetySurvivesGarbageInjectedMidRun) {
    public:
     GarbageInjector(std::unique_ptr<ConsensusAutomaton> inner, Pid n,
                     std::uint64_t seed)
-        : inner_(std::move(inner)), n_(n), rng_(seed) {}
+        : inner_(std::move(inner)), n_(n), mut_(seed) {}
 
     void step(const Incoming* in, const FdValue& d,
               std::vector<Outgoing>& out) override {
       inner_->step(in, d, out);
-      if (rng_.chance(1, 4)) {
-        out.push_back({static_cast<Pid>(rng_.below(n_)), random_payload(rng_)});
+      if (mut_.rng().chance(1, 4)) {
+        out.push_back({static_cast<Pid>(mut_.rng().below(n_)),
+                       mut_.random_payload(kMaxPayload)});
       }
     }
     [[nodiscard]] std::optional<Value> decision() const override {
@@ -161,7 +237,7 @@ TEST(Fuzz, ConsensusSafetySurvivesGarbageInjectedMidRun) {
    private:
     std::unique_ptr<ConsensusAutomaton> inner_;
     Pid n_;
-    Rng rng_;
+    fuzz::Mutator mut_;
   };
 
   FailurePattern fp(kN);
