@@ -1,0 +1,328 @@
+// Experiment F: QoS of the heartbeat-implemented detectors (fd/impl/)
+// under the timing-aware scheduler (sim/timing.hpp).
+//
+// The generated oracles elsewhere in the benches synthesize histories from
+// the ground-truth failure pattern; here the detectors are *measured*:
+// heartbeat modules run as automata, their recorded output histories are
+// scored with the Chen-Toueg-Aguilera QoS metrics (fd/qos.hpp), and the
+// measured Omega is finally plugged under A_nuc to put a real detection
+// latency next to the scripted E5b stabilization curve
+// (bench_fig45_anuc.cpp). Expected shape: detection time grows linearly
+// with both the configured timeout and the message delay while the mistake
+// rate falls (the classic QoS trade-off); Omega stabilization tracks the
+// slowest correct process; A_nuc over the measured Omega decides a
+// constant number of rounds after the heartbeat chain settles, like the
+// scripted curve with a moderate effective stabilization time.
+//
+// All tables are folded serially from deterministic runs, so the report is
+// byte-identical for any --threads (the F5 sweep aggregate is fold-order
+// deterministic by construction; see exp/sweep.hpp).
+//
+// NUCON_FDQOS_QUICK=1 shrinks seed counts and grids for CI.
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "fd/impl/heartbeat.hpp"
+#include "fd/qos.hpp"
+#include "fd/scripted.hpp"
+#include "sim/timing.hpp"
+
+namespace nucon::bench {
+namespace {
+
+bool quick_mode() { return std::getenv("NUCON_FDQOS_QUICK") != nullptr; }
+
+// --- Bare heartbeat runs ----------------------------------------------------
+
+/// Runs bare heartbeat modules (no hosted algorithm) under the timed
+/// scheduler and records every module's output variable after each step.
+RecordedHistory run_bare(HeartbeatMode mode, const FailurePattern& fp,
+                         const HeartbeatOptions& hopts,
+                         const TimingOptions& topts, std::uint64_t seed,
+                         std::int64_t max_steps) {
+  RecordedHistory h;
+  SchedulerOptions opts;
+  opts.seed = seed;
+  opts.max_steps = max_steps;
+  opts.record_run = false;
+  opts.timing = topts;
+  opts.timing.enabled = true;
+  opts.on_step = [&h](const StepRecord& rec,
+                      const std::vector<std::unique_ptr<Automaton>>& automata) {
+    const auto* hb = static_cast<const HeartbeatFd*>(
+        automata[static_cast<std::size_t>(rec.p)].get());
+    h.add(rec.p, rec.t, hb->output());
+  };
+  ScriptedOracle oracle([](Pid, Time) { return FdValue{}; });
+  (void)simulate(fp, oracle, make_heartbeat_fd(fp.n(), mode, hopts), opts);
+  return h;
+}
+
+/// Seed-folded suspect-list QoS: counts and totals add, maxima max.
+struct SuspectsAgg {
+  FdQos q;
+  void add(const FdQos& r) {
+    q.crash_pairs += r.crash_pairs;
+    q.undetected += r.undetected;
+    q.detection_total += r.detection_total;
+    q.detection_max = std::max(q.detection_max, r.detection_max);
+    q.mistakes += r.mistakes;
+    q.mistake_duration_total += r.mistake_duration_total;
+    q.mistake_duration_max =
+        std::max(q.mistake_duration_max, r.mistake_duration_max);
+    q.observed_samples += r.observed_samples;
+  }
+};
+
+/// Seed-folded leader QoS: stabilized only when every seed stabilized.
+struct LeaderAgg {
+  bool all_stabilized = true;
+  Time stab_max = 0;
+  std::int64_t stab_total = 0;
+  int runs = 0;
+  void add(const FdQos& r) {
+    all_stabilized = all_stabilized && r.omega_stabilized;
+    if (r.omega_stabilized) {
+      stab_max = std::max(stab_max, r.omega_stabilization);
+      stab_total += r.omega_stabilization;
+      ++runs;
+    }
+  }
+  [[nodiscard]] std::int64_t mean() const {
+    return runs > 0 ? stab_total / runs : 0;
+  }
+};
+
+std::vector<std::uint64_t> seeds() {
+  return quick_mode() ? std::vector<std::uint64_t>{1, 2}
+                      : std::vector<std::uint64_t>{1, 2, 3, 4, 5};
+}
+
+void add_suspects_row(TextTable& t, const std::string& knob,
+                      const SuspectsAgg& a) {
+  t.add_row({knob, std::to_string(a.q.crash_pairs),
+             std::to_string(a.q.undetected),
+             std::to_string(a.q.detection_mean()),
+             std::to_string(a.q.detection_max), std::to_string(a.q.mistakes),
+             std::to_string(a.q.mistake_duration_mean()),
+             std::to_string(a.q.mistakes_per_kilosample())});
+}
+
+// F1: the QoS trade-off along the detector's own knob. Small timeouts
+// detect the crash fast but keep wrongly suspecting slow-but-alive peers;
+// large timeouts are clean but slow.
+void f1_timeout_sweep() {
+  TextTable t({"timeout_init", "crash_pairs", "undetected", "detect_mean",
+               "detect_max", "mistakes", "mist_dur_mean", "mist_per_ksample"});
+  FailurePattern fp(4);
+  fp.set_crash(3, 300);
+  for (Time timeout : {4, 8, 16, 32, 64}) {
+    HeartbeatOptions hopts;
+    hopts.timeout_init = timeout;
+    SuspectsAgg agg;
+    for (std::uint64_t seed : seeds()) {
+      agg.add(qos_of_suspects(
+          run_bare(HeartbeatMode::kDiamondS, fp, hopts, {}, seed, 12'000),
+          fp));
+    }
+    add_suspects_row(t, std::to_string(timeout), agg);
+  }
+  print_section("F1: <>S QoS vs initial timeout (heartbeat, n=4, 1 crash)",
+                t);
+}
+
+// F2: the same detector against a slower network. Detection time is
+// measured in scheduler ticks, so it grows with the message delay; the
+// adaptive timeout absorbs the jitter, keeping mistakes low.
+void f2_delay_sweep() {
+  TextTable t({"delay_base", "jitter", "crash_pairs", "undetected",
+               "detect_mean", "detect_max", "mistakes", "mist_dur_mean",
+               "mist_per_ksample"});
+  FailurePattern fp(4);
+  fp.set_crash(3, 300);
+  for (Time delay : {1, 4, 8, 16}) {
+    TimingOptions topts;
+    topts.delay_base = delay;
+    SuspectsAgg agg;
+    for (std::uint64_t seed : seeds()) {
+      agg.add(qos_of_suspects(
+          run_bare(HeartbeatMode::kDiamondS, fp, {}, topts, seed, 16'000),
+          fp));
+    }
+    t.add_row({std::to_string(delay), std::to_string(topts.delay_jitter),
+               std::to_string(agg.q.crash_pairs),
+               std::to_string(agg.q.undetected),
+               std::to_string(agg.q.detection_mean()),
+               std::to_string(agg.q.detection_max),
+               std::to_string(agg.q.mistakes),
+               std::to_string(agg.q.mistake_duration_mean()),
+               std::to_string(agg.q.mistakes_per_kilosample())});
+  }
+  print_section("F2: <>S QoS vs message delay (heartbeat, n=4, 1 crash)", t);
+}
+
+// F3: Omega over the heartbeat chain. The initial leader (lowest id)
+// crashes, so stabilization necessarily lands after the crash plus the
+// detection latency; slowing the successor stretches it further (the
+// other processes must first widen their timeouts to stop suspecting it).
+void f3_omega_stabilization() {
+  TextTable t({"delay_base", "skew_p1", "stabilized", "stab_mean",
+               "stab_max"});
+  FailurePattern fp(4);
+  fp.set_crash(0, 250);
+  for (Time delay : {1, 8}) {
+    for (int skew : {1, 4}) {
+      TimingOptions topts;
+      topts.delay_base = delay;
+      topts.speed = {1, skew, 1, 1};
+      LeaderAgg agg;
+      for (std::uint64_t seed : seeds()) {
+        agg.add(qos_of_leader(
+            run_bare(HeartbeatMode::kOmega, fp, {}, topts, seed, 16'000),
+            fp));
+      }
+      t.add_row({std::to_string(delay), std::to_string(skew),
+                 agg.all_stabilized ? "yes" : "NO",
+                 std::to_string(agg.mean()), std::to_string(agg.stab_max)});
+    }
+  }
+  print_section(
+      "F3: Omega stabilization vs delay and speed skew (leader crashes)", t);
+}
+
+// F4: the E5b experiment (bench_fig45_anuc.cpp: A_nuc decision latency vs
+// scripted Omega stabilization, n=4, faults=1, seed 13) with the measured
+// heartbeat Omega next to each scripted row. The implemented detector has
+// no stabilize knob — its effective stabilization is whatever the
+// heartbeat chain delivers — so its latency is one roughly constant row
+// sitting where a moderate scripted stabilization would put it. The
+// quorum component keeps the scripted stabilize either way.
+void f4_anuc_latency() {
+  TextTable t({"omega", "omega_stab", "decided", "round", "steps", "msgs",
+               "nonuniform_ok"});
+  const auto stabs = quick_mode() ? std::vector<Time>{0, 400}
+                                  : std::vector<Time>{0, 100, 400, 1200};
+  for (exp::FdSource fd : {exp::FdSource::kGenerated,
+                           exp::FdSource::kImplemented}) {
+    for (Time stabilize : stabs) {
+      exp::SweepPoint pt;
+      pt.algo = exp::Algo::kAnuc;
+      pt.n = 4;
+      pt.faults = 1;
+      pt.stabilize = stabilize;
+      pt.seed = 13;
+      pt.max_steps = 400'000;
+      pt.fd = fd;
+      const ConsensusRunStats r = exp::run_point(pt);
+      t.add_row({fd == exp::FdSource::kGenerated ? "scripted" : "measured",
+                 std::to_string(stabilize),
+                 r.all_correct_decided ? "yes" : "NO",
+                 std::to_string(r.decide_round), std::to_string(r.steps),
+                 std::to_string(r.messages_sent),
+                 r.verdict.solves_nonuniform() ? "yes" : "NO"});
+    }
+  }
+  print_section(
+      "F4: A_nuc decision latency — scripted Omega (E5b) vs measured "
+      "heartbeat Omega",
+      t);
+}
+
+// F5: the implemented-FD configuration swept statistically across the
+// oracle-consuming algorithms on the parallel engine. The aggregate is
+// folded serially in expansion order, so this section is bit-identical
+// for any thread count.
+void f5_implemented_sweep() {
+  exp::SweepGrid grid;
+  grid.algos = {exp::Algo::kAnuc, exp::Algo::kStacked, exp::Algo::kCt};
+  grid.ns = {4};
+  grid.fault_counts = {0, 1};
+  grid.stabilizes = {120};
+  grid.seed_begin = 1;
+  grid.seed_count = quick_mode() ? 2 : 8;
+  grid.max_steps = 400'000;
+  grid.fd = exp::FdSource::kImplemented;
+
+  const exp::SweepResult result = exp::SweepRunner().run(grid);
+  const exp::SweepAggregate& agg = result.aggregate;
+  TextTable t({"runs", "undecided", "uniform_viol", "nonuniform_viol",
+               "expect_fail", "mean_round", "mean_msgs"});
+  t.add_row({std::to_string(agg.runs), std::to_string(agg.undecided),
+             std::to_string(agg.uniform_violations),
+             std::to_string(agg.nonuniform_violations),
+             std::to_string(agg.expectation_failures),
+             TextTable::fmt(agg.decide_rounds.mean(), 1),
+             TextTable::fmt(agg.messages.mean(), 0)});
+  print_section("F5: consensus over implemented detectors (sweep)", t);
+  record_sweep("F5",
+               "anuc/stacked/ct, n=4, faults in {0,1}, fd=implemented",
+               result);
+  for (const exp::ReplayArtifact& a : agg.failures) {
+    std::printf("UNEXPECTED failure — replay with: nucon_explore --replay "
+                "'%s'\n",
+                a.to_string().c_str());
+  }
+}
+
+void experiments() {
+  f1_timeout_sweep();
+  f2_delay_sweep();
+  f3_omega_stabilization();
+  f4_anuc_latency();
+  f5_implemented_sweep();
+}
+
+// --- Microbenchmarks --------------------------------------------------------
+
+void BM_BareHeartbeatRun(benchmark::State& state) {
+  // One bare <>S run (n=4, one crash) under the timed scheduler, history
+  // recording included — the cost of a single QoS measurement.
+  FailurePattern fp(4);
+  fp.set_crash(3, 300);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    RecordedHistory h =
+        run_bare(HeartbeatMode::kDiamondS, fp, {}, {}, seed++, 12'000);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BareHeartbeatRun)->Unit(benchmark::kMillisecond);
+
+void BM_AnucScriptedOmega(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    exp::SweepPoint pt;
+    pt.algo = exp::Algo::kAnuc;
+    pt.n = 4;
+    pt.faults = 1;
+    pt.stabilize = 120;
+    pt.seed = seed++;
+    benchmark::DoNotOptimize(exp::run_point(pt).steps);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnucScriptedOmega)->Unit(benchmark::kMillisecond);
+
+void BM_AnucMeasuredOmega(benchmark::State& state) {
+  // Same point with the heartbeat Omega hosted beside the algorithm: the
+  // overhead of the FD automata plus the timed delivery policy.
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    exp::SweepPoint pt;
+    pt.algo = exp::Algo::kAnuc;
+    pt.n = 4;
+    pt.faults = 1;
+    pt.stabilize = 120;
+    pt.seed = seed++;
+    pt.fd = exp::FdSource::kImplemented;
+    benchmark::DoNotOptimize(exp::run_point(pt).steps);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnucMeasuredOmega)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nucon::bench
+
+NUCON_BENCH_MAIN(nucon::bench::experiments, "fdqos")

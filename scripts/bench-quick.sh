@@ -10,6 +10,11 @@
 # frozen replay-based DFS baseline on the depth-8 slice of the n=3
 # reference space, with the determinism cross-checks (the full depth-12
 # comparison runs when bench_model is invoked without the quick flag).
+# Next comes bench_fdqos with NUCON_FDQOS_QUICK=1, emitting
+# build/BENCH_fdqos.json: heartbeat <>S detection-time/mistake-rate
+# tables, Omega stabilization under delay and skew, and the A_nuc
+# decision-latency comparison of scripted vs measured Omega (see
+# EXPERIMENTS.md "Implemented failure detectors & QoS").
 # Finally chains the fuzz-smoke preset: a fixed-seed 10-second
 # coverage-guided campaign against the naive Sigma^nu substitution that
 # must rediscover and minimize the known nonuniform-agreement violation
@@ -23,4 +28,4 @@ cd "$(dirname "$0")/.."
 cmake --preset default
 cmake --build --preset bench-quick
 cmake --build --preset fuzz-smoke
-echo "==> bench-quick: wrote build/BENCH_hotpath.json, build/BENCH_model.json and build/BENCH_fuzz.json"
+echo "==> bench-quick: wrote build/BENCH_hotpath.json, build/BENCH_model.json, build/BENCH_fdqos.json and build/BENCH_fuzz.json"

@@ -5,12 +5,14 @@
 # carry one configure step, so the matrix lives here:
 #
 #   check-default   configure + build + the whole ctest suite (RelWithDebInfo)
-#   check-asan      configure + build + sweep/obs/mc/fuzz-labeled ctest under ASan/UBSan
-#   check-tsan      configure + build + sweep/obs/mc/fuzz-labeled ctest under TSan
+#   check-asan      configure + build + sweep/obs/mc/fuzz/fdqos-labeled ctest under ASan/UBSan
+#   check-tsan      configure + build + sweep/obs/mc/fuzz/fdqos-labeled ctest under TSan
 #
 # (the mc label covers the model checker's parallel-frontier determinism
-# suite and fuzz covers the schedule fuzzer's engine/minimizer/corpus
-# suites — both worth re-running under the sanitizers), then runs the
+# suite, fuzz covers the schedule fuzzer's engine/minimizer/corpus
+# suites, and fdqos covers the timing-aware scheduler mode plus the
+# heartbeat-implemented detectors — all worth re-running under the
+# sanitizers), then runs the
 # quick throughput baselines plus the 10s fuzz smoke campaign
 # (scripts/bench-quick.sh) so a perf regression in the simulation core or
 # a lost rediscovery in the fuzzer shows up in the same pass.

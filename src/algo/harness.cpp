@@ -6,6 +6,7 @@
 #include "core/anuc.hpp"
 #include "core/from_scratch.hpp"
 #include "core/stacked_nuc.hpp"
+#include "fd/impl/host.hpp"
 
 namespace nucon {
 
@@ -26,6 +27,10 @@ ConsensusRunStats run_consensus(const FailurePattern& fp, Oracle& oracle,
 
   for (Pid p = 0; p < fp.n(); ++p) {
     const Automaton* a = sim.automata[static_cast<std::size_t>(p)].get();
+    // A hosted stack reports the rounds of the algorithm it hosts.
+    if (const auto* host = dynamic_cast<const FdHost*>(a)) {
+      a = &host->inner();
+    }
     int round = 0;
     int decided_round = 0;
     if (const auto* mr = dynamic_cast<const MrConsensus*>(a)) {

@@ -21,6 +21,7 @@
 #include "obs/report.hpp"
 #include "fd/classic.hpp"
 #include "fd/composed.hpp"
+#include "fd/impl/host.hpp"
 #include "fd/omega.hpp"
 #include "fd/scripted.hpp"
 #include "fd/sigma.hpp"
@@ -71,9 +72,23 @@ std::optional<FaultyQuorumBehavior> parse_mode(const std::string& s) {
   return std::nullopt;
 }
 
+std::optional<FdSource> parse_fd_source(const std::string& s) {
+  if (s == "generated") return FdSource::kGenerated;
+  if (s == "implemented") return FdSource::kImplemented;
+  return std::nullopt;
+}
+
+/// The detector class the hosted heartbeat modules present to `a`'s
+/// canonical stack: the leader consumers take Omega, CT takes <>S.
+HeartbeatMode implemented_mode_of(Algo a) {
+  if (a == Algo::kCt) return HeartbeatMode::kDiamondS;
+  return HeartbeatMode::kOmega;
+}
+
 void validate(const SweepPoint& pt) {
   if (pt.n < 2 || pt.n > kMaxProcesses || pt.faults < 0 || pt.faults >= pt.n ||
-      pt.max_steps <= 0) {
+      pt.max_steps <= 0 ||
+      (pt.fd == FdSource::kImplemented && !supports_implemented_fd(pt.algo))) {
     throw std::invalid_argument("infeasible SweepPoint: " +
                                 ReplayArtifact{pt}.to_string());
   }
@@ -85,6 +100,9 @@ void validate(const SweepPoint& pt) {
 /// after the engine landed replay identically.
 struct PointSetup {
   FailurePattern fp;
+  /// Only populated for fd=implemented points: the FdHost-wrapped factory
+  /// plus the board its heartbeat modules publish to.
+  HostedConsensus hosted;
   AlgoOracles oracle;
   ConsensusFactory make;
   std::vector<Value> proposals;
@@ -92,11 +110,23 @@ struct PointSetup {
 
   explicit PointSetup(const SweepPoint& pt)
       : fp(failure_pattern_of(pt)),
-        oracle(pt.algo, fp, pt.stabilize, pt.faulty_mode, pt.seed),
-        make(consensus_factory_of(pt.algo, pt.n, pt.seed)),
+        hosted(pt.fd == FdSource::kImplemented
+                   ? make_hosted_consensus(
+                         consensus_factory_of(pt.algo, pt.n, pt.seed), pt.n,
+                         implemented_mode_of(pt.algo))
+                   : HostedConsensus{}),
+        oracle(pt.algo, fp, pt.stabilize, pt.faulty_mode, pt.seed,
+               hosted.board),
+        make(hosted.board ? hosted.factory
+                          : consensus_factory_of(pt.algo, pt.n, pt.seed)),
         proposals(proposals_of(pt)) {
     opts.seed = pt.seed;
     opts.max_steps = pt.max_steps;
+    // Implemented detectors run under the timed network: latency becomes a
+    // modeled quantity the timeouts can track, so suspicions stabilize
+    // instead of chasing the adversarial delivery policy. Part of the
+    // point's deterministic derivation, so artifacts replay identically.
+    if (pt.fd == FdSource::kImplemented) opts.timing.enabled = true;
   }
 };
 
@@ -108,6 +138,10 @@ std::string cell_spec_of(const SweepPoint& pt) {
      << " faults=" << pt.faults << " stab=" << pt.stabilize
      << " crash=" << pt.crash_at << " mode=" << mode_name(pt.faulty_mode)
      << " steps=" << pt.max_steps;
+  // Printed only off-default: specs and artifacts from before the fd
+  // dimension existed (including those embedded in golden traces) must
+  // stay byte-identical.
+  if (pt.fd != FdSource::kGenerated) os << " fd=" << fd_source_name(pt.fd);
   return os.str();
 }
 
@@ -165,15 +199,37 @@ std::optional<Algo> parse_algo(const std::string& name) {
 
 Expect expectation(Algo a) { return info_of(a).expect; }
 
+const char* fd_source_name(FdSource s) {
+  return s == FdSource::kImplemented ? "implemented" : "generated";
+}
+
+bool supports_implemented_fd(Algo a) {
+  // Ben-Or reads no detector and from-scratch builds its own Omega from
+  // scratch; neither consumes an Omega/<>S oracle layer to replace.
+  return a != Algo::kBenOr && a != Algo::kFromScratch;
+}
+
 AlgoOracles::AlgoOracles(Algo algo, const FailurePattern& fp, Time stabilize,
-                         FaultyQuorumBehavior faulty_mode,
-                         std::uint64_t seed) {
+                         FaultyQuorumBehavior faulty_mode, std::uint64_t seed,
+                         std::shared_ptr<FdBoard> board) {
+  if (board && !supports_implemented_fd(algo)) {
+    throw std::invalid_argument(
+        "AlgoOracles: algorithm has no Omega/<>S layer to implement");
+  }
+  // The algorithm's Omega (or, for CT, <>S) layer: the hosted heartbeat
+  // modules' output board when one is supplied, the generated oracle
+  // otherwise. Quorum layers and their seed offsets are identical in both
+  // configurations.
+  const auto leader_layer = [&]() -> Oracle& {
+    if (board) return make<ImplementedOracle>(board);
+    OmegaOptions oo;
+    oo.stabilize_at = stabilize;
+    oo.seed = seed;
+    return make<OmegaOracle>(fp, oo);
+  };
   switch (algo) {
     case Algo::kAnuc: {
-      OmegaOptions oo;
-      oo.stabilize_at = stabilize;
-      oo.seed = seed;
-      auto& omega = make<OmegaOracle>(fp, oo);
+      auto& omega = leader_layer();
       SigmaNuPlusOptions spo;
       spo.stabilize_at = stabilize;
       spo.seed = seed + 0x53;
@@ -184,10 +240,7 @@ AlgoOracles::AlgoOracles(Algo algo, const FailurePattern& fp, Time stabilize,
     }
     case Algo::kStacked:
     case Algo::kNaive: {
-      OmegaOptions oo;
-      oo.stabilize_at = stabilize;
-      oo.seed = seed;
-      auto& omega = make<OmegaOracle>(fp, oo);
+      auto& omega = leader_layer();
       SigmaNuOptions sno;
       sno.stabilize_at = stabilize;
       sno.seed = seed + 0x52;
@@ -197,17 +250,11 @@ AlgoOracles::AlgoOracles(Algo algo, const FailurePattern& fp, Time stabilize,
       break;
     }
     case Algo::kMrMajority: {
-      OmegaOptions oo;
-      oo.stabilize_at = stabilize;
-      oo.seed = seed;
-      make<OmegaOracle>(fp, oo);
+      leader_layer();
       break;
     }
     case Algo::kMrSigma: {
-      OmegaOptions oo;
-      oo.stabilize_at = stabilize;
-      oo.seed = seed;
-      auto& omega = make<OmegaOracle>(fp, oo);
+      auto& omega = leader_layer();
       SigmaOptions so;
       so.stabilize_at = stabilize;
       so.seed = seed + 0x51;
@@ -216,6 +263,10 @@ AlgoOracles::AlgoOracles(Algo algo, const FailurePattern& fp, Time stabilize,
       break;
     }
     case Algo::kCt: {
+      if (board) {
+        make<ImplementedOracle>(board);
+        break;
+      }
       SuspectsOptions sso;
       sso.stabilize_at = stabilize;
       sso.seed = seed + 0x54;
@@ -266,6 +317,10 @@ const char* expect_name(Expect e) {
 std::vector<SweepPoint> SweepGrid::expand() const {
   std::vector<SweepPoint> points;
   for (Algo algo : algos) {
+    // Infeasible like faults >= n: silently skipped, not an error.
+    if (fd == FdSource::kImplemented && !supports_implemented_fd(algo)) {
+      continue;
+    }
     for (Pid n : ns) {
       for (Pid faults : fault_counts) {
         if (faults < 0 || faults >= n) continue;  // infeasible cell
@@ -281,6 +336,7 @@ std::vector<SweepPoint> SweepGrid::expand() const {
               pt.faulty_mode = mode;
               pt.max_steps = max_steps;
               pt.seed = seed_begin + static_cast<std::uint64_t>(k);
+              pt.fd = fd;
               points.push_back(pt);
             }
           }
@@ -297,6 +353,10 @@ std::string ReplayArtifact::to_string() const {
      << " faults=" << point.faults << " stab=" << point.stabilize
      << " crash=" << point.crash_at << " mode=" << mode_name(point.faulty_mode)
      << " steps=" << point.max_steps << " seed=" << point.seed;
+  // Off-default only; see cell_spec_of.
+  if (point.fd != FdSource::kGenerated) {
+    os << " fd=" << fd_source_name(point.fd);
+  }
   return os.str();
 }
 
@@ -319,6 +379,10 @@ std::optional<ReplayArtifact> ReplayArtifact::parse(const std::string& line) {
       const auto m = parse_mode(value);
       if (!m) return std::nullopt;
       pt.faulty_mode = *m;
+    } else if (key == "fd") {
+      const auto s = parse_fd_source(value);
+      if (!s) return std::nullopt;
+      pt.fd = *s;
     } else if (key == "seed") {
       // Seeds are unsigned: std::stoll would reject (throw on) every seed
       // >= 2^63, so artifacts printed from the top half of the seed space
@@ -352,7 +416,8 @@ std::optional<ReplayArtifact> ReplayArtifact::parse(const std::string& line) {
     }
   }
   if (!saw_algo || pt.n < 2 || pt.n > kMaxProcesses || pt.faults < 0 ||
-      pt.faults >= pt.n || pt.max_steps <= 0) {
+      pt.faults >= pt.n || pt.max_steps <= 0 ||
+      (pt.fd == FdSource::kImplemented && !supports_implemented_fd(pt.algo))) {
     return std::nullopt;
   }
   return ReplayArtifact{pt};

@@ -31,6 +31,10 @@
 #include "trace/trace_recorder.hpp"
 #include "util/stats.hpp"
 
+namespace nucon {
+class FdBoard;  // fd/impl/host.hpp
+}  // namespace nucon
+
 namespace nucon::exp {
 
 /// Every consensus algorithm the library can run under its canonical
@@ -56,6 +60,20 @@ enum class Expect { kNonuniform, kUniform, kNone };
 [[nodiscard]] Expect expectation(Algo a);
 [[nodiscard]] const char* expect_name(Expect e);
 
+/// Where a point's Omega/<>S component comes from. kGenerated reads the
+/// ground-truth failure pattern (the classic oracles); kImplemented runs
+/// heartbeat modules (fd/impl/) beside the algorithm under the timing-aware
+/// scheduler and feeds their measured outputs through the oracle interface.
+/// Quorum components (Sigma family) stay generated either way — the
+/// heartbeat automata implement leader/suspect detectors only.
+enum class FdSource { kGenerated, kImplemented };
+[[nodiscard]] const char* fd_source_name(FdSource s);
+
+/// True for algorithms whose canonical oracle has a heartbeat-implementable
+/// component (everything but ben-or and from-scratch, which consume no
+/// Omega/<>S from the oracle).
+[[nodiscard]] bool supports_implemented_fd(Algo a);
+
 /// The canonical oracle stack of an algorithm: owns every layer and exposes
 /// the composed top the run queries. Factored out of the sweep engine's
 /// per-point setup so external drivers (tools/nucon_explore, the fuzzer in
@@ -65,8 +83,13 @@ enum class Expect { kNonuniform, kUniform, kNone };
 /// builds its own stack; nothing is shared across threads.
 class AlgoOracles {
  public:
+  /// With a non-null `board`, the stack's Omega/<>S layer is an
+  /// ImplementedOracle over it (the hosted heartbeat modules' output
+  /// variables) instead of a generated oracle; quorum layers and their
+  /// seed offsets are unchanged. ben-or / from-scratch reject a board.
   AlgoOracles(Algo algo, const FailurePattern& fp, Time stabilize,
-              FaultyQuorumBehavior faulty_mode, std::uint64_t seed);
+              FaultyQuorumBehavior faulty_mode, std::uint64_t seed,
+              std::shared_ptr<FdBoard> board = nullptr);
 
   [[nodiscard]] Oracle& top() { return *top_; }
 
@@ -99,6 +122,11 @@ struct SweepPoint {
   FaultyQuorumBehavior faulty_mode = FaultyQuorumBehavior::kAdversarialDisjoint;
   std::int64_t max_steps = 200'000;
   std::uint64_t seed = 1;
+  /// kImplemented hosts heartbeat detectors beside the algorithm and runs
+  /// under the timing-aware scheduler; artifacts print an `fd=` token only
+  /// for this non-default value, so pre-existing artifact strings (and the
+  /// golden traces embedding them) are untouched.
+  FdSource fd = FdSource::kGenerated;
 
   friend bool operator==(const SweepPoint&, const SweepPoint&) = default;
 };
@@ -117,6 +145,7 @@ struct SweepGrid {
   std::uint64_t seed_begin = 1;
   int seed_count = 1;
   std::int64_t max_steps = 200'000;
+  FdSource fd = FdSource::kGenerated;
 
   [[nodiscard]] std::vector<SweepPoint> expand() const;
 };

@@ -5,6 +5,16 @@
 // answers "what does p's module output at time t" deterministically (the
 // same (p, t) always yields the same value), so the function it computes is
 // a single H, and concrete oracles guarantee H is in D(F) for their class.
+//
+// Stabilization boundary convention: every generated oracle with a
+// `stabilize_at` option (omega.cpp, classic.cpp, sigma.cpp, sigma_nu.cpp,
+// sigma_nu_plus.cpp) treats the boundary as INCLUSIVE — the module output
+// at t == stabilize_at is already the stable (post-convergence) value, and
+// t == stabilize_at - 1 is the last tick that may show adversarial warmup
+// noise. Equivalently: `t >= stabilize_at` selects the stable branch, and
+// `stabilize_at == 0` means stable from the first queried tick (the
+// scheduler's clock starts at 1). oracle_boundary_test.cpp pins this table
+// for all five files.
 #pragma once
 
 #include "sim/failure_pattern.hpp"

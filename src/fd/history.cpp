@@ -215,6 +215,11 @@ CheckResult check_evt_perfect(const RecordedHistory& h,
 }
 
 CheckResult check_strong(const RecordedHistory& h, const FailurePattern& fp) {
+  // No correct process: weak accuracy ("some correct process is never
+  // suspected") has an empty witness set but also no obligation — the
+  // class quantifies over correct processes. Vacuous pass, matching
+  // check_omega's convention for the same degenerate pattern.
+  if (fp.correct().empty()) return CheckResult::pass();
   const auto comp = suspects_completeness(h, fp);
   if (!comp.ok) return comp;
   ProcessSet ever_suspected;
@@ -230,6 +235,8 @@ CheckResult check_strong(const RecordedHistory& h, const FailurePattern& fp) {
 
 CheckResult check_evt_strong(const RecordedHistory& h,
                              const FailurePattern& fp) {
+  // Vacuous pass on the no-correct-process pattern; see check_strong.
+  if (fp.correct().empty()) return CheckResult::pass();
   const auto comp = suspects_completeness(h, fp);
   if (!comp.ok) return comp;
   for (Pid c : fp.correct()) {

@@ -110,4 +110,11 @@ struct CheckResult {
 [[nodiscard]] CheckResult check_evt_strong(const RecordedHistory& h,
                                            const FailurePattern& fp);
 
+/// ◇S under its usual name; the class the heartbeat suspicion lists
+/// (fd/impl/heartbeat.hpp) implement.
+[[nodiscard]] inline CheckResult check_diamond_s(const RecordedHistory& h,
+                                                 const FailurePattern& fp) {
+  return check_evt_strong(h, fp);
+}
+
 }  // namespace nucon

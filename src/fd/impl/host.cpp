@@ -1,0 +1,68 @@
+#include "fd/impl/host.hpp"
+
+namespace nucon {
+namespace {
+
+constexpr std::uint8_t kChannelFd = 0;
+constexpr std::uint8_t kChannelInner = 1;
+
+}  // namespace
+
+FdHost::FdHost(Pid self, Pid n, HeartbeatMode mode,
+               const HeartbeatOptions& opts, std::shared_ptr<FdBoard> board,
+               std::unique_ptr<ConsensusAutomaton> inner)
+    : hb_(self, n, mode, opts),
+      inner_(std::move(inner)),
+      board_(std::move(board)) {}
+
+void FdHost::step_component(Automaton& component, const Incoming* in,
+                            const FdValue& d, std::uint8_t channel,
+                            std::vector<Outgoing>& out) {
+  component_sends_.clear();
+  component.step(in, d, component_sends_);
+  reframe_sends(component_sends_, frame_scratch_,
+                [channel](ByteWriter& w, const Bytes& payload) {
+                  w.u8(channel);
+                  w.raw(payload);
+                },
+                out);
+}
+
+void FdHost::step(const Incoming* in, const FdValue& d,
+                  std::vector<Outgoing>& out) {
+  const Incoming* for_fd = nullptr;
+  const Incoming* for_inner = nullptr;
+  Incoming inner_in;
+  if (in != nullptr && !in->payload->empty()) {
+    const std::uint8_t channel = in->payload->front();
+    demux_.assign(in->payload->begin() + 1, in->payload->end());
+    inner_in = Incoming{in->from, &demux_};
+    if (channel == kChannelFd) {
+      for_fd = &inner_in;
+    } else if (channel == kChannelInner) {
+      for_inner = &inner_in;
+    }
+  }
+
+  step_component(hb_, for_fd, d, kChannelFd, out);
+  board_->publish(hb_.self(), hb_.output());
+
+  step_component(*inner_, for_inner, d, kChannelInner, out);
+}
+
+HostedConsensus make_hosted_consensus(ConsensusFactory inner, Pid n,
+                                      HeartbeatMode mode,
+                                      HeartbeatOptions opts) {
+  // Every module starts with an empty suspect set, so the initial board is
+  // the mode's nobody-suspected output (leader 0 / no suspects).
+  const FdValue initial = HeartbeatFd(0, n, mode, opts).output();
+  auto board = std::make_shared<FdBoard>(n, initial);
+  ConsensusFactory factory = [inner = std::move(inner), n, mode, opts,
+                              board](Pid p, Value proposal) {
+    return std::make_unique<FdHost>(p, n, mode, opts, board,
+                                    inner(p, proposal));
+  };
+  return HostedConsensus{std::move(factory), std::move(board)};
+}
+
+}  // namespace nucon

@@ -1,6 +1,6 @@
 #include "fd/omega.hpp"
 
-#include <cassert>
+#include <stdexcept>
 
 #include "fd/oracle_base.hpp"
 
@@ -12,8 +12,15 @@ OmegaOracle::OmegaOracle(const FailurePattern& fp, OmegaOptions opts)
     // Default eventual leader: the smallest correct process. A system with
     // no correct process has no Omega obligation; fall back to 0.
     leader_ = fp_.correct().empty() ? 0 : fp_.correct().min();
+  } else if (leader_ >= fp_.n() ||
+             (!fp_.correct().empty() && !fp_.is_correct(leader_))) {
+    // A hard error, not an assert: a faulty (or out-of-range) eventual
+    // leader would make release builds run an "Omega" that violates Omega
+    // and silently poison every sweep built on it.
+    throw std::invalid_argument(
+        "OmegaOracle: configured eventual leader " + std::to_string(leader_) +
+        " is not a correct process of " + fp_.to_string());
   }
-  assert(fp_.correct().empty() || fp_.is_correct(leader_));
 }
 
 FdValue OmegaOracle::value(Pid p, Time t) {

@@ -1,0 +1,105 @@
+#include "fd/qos.hpp"
+
+#include <algorithm>
+
+namespace nucon {
+
+FdQos qos_of_suspects(const RecordedHistory& h, const FailurePattern& fp) {
+  FdQos q;
+  for (Pid p : fp.correct()) {
+    const std::vector<Sample> samples = [&] {
+      std::vector<Sample> s = h.of(p);
+      std::erase_if(s, [](const Sample& x) { return !x.value.has_suspects(); });
+      return s;
+    }();
+    q.observed_samples += static_cast<std::int64_t>(samples.size());
+
+    for (Pid target = 0; target < fp.n(); ++target) {
+      if (target == p) continue;
+
+      if (!fp.is_correct(target)) {
+        // Detection: the final suffix of samples that all suspect the
+        // target. Walk backwards to its first sample; no suffix (or no
+        // samples at all) means the crash went undetected by p.
+        ++q.crash_pairs;
+        std::size_t i = samples.size();
+        while (i > 0 && samples[i - 1].value.suspects().contains(target)) --i;
+        if (i == samples.size()) {
+          ++q.undetected;
+        } else {
+          const Time latency =
+              std::max<Time>(0, samples[i].t - fp.crash_time(target));
+          q.detection_total += latency;
+          q.detection_max = std::max(q.detection_max, latency);
+        }
+        continue;
+      }
+
+      // Mistakes: episodes where the correct target sits in p's suspect
+      // set. An episode open at the last sample is charged up to it.
+      bool open = false;
+      Time began = 0;
+      for (const Sample& s : samples) {
+        const bool suspected = s.value.suspects().contains(target);
+        if (suspected && !open) {
+          open = true;
+          began = s.t;
+          ++q.mistakes;
+        } else if (!suspected && open) {
+          open = false;
+          const Time span = s.t - began;
+          q.mistake_duration_total += span;
+          q.mistake_duration_max = std::max(q.mistake_duration_max, span);
+        }
+      }
+      if (open && !samples.empty()) {
+        const Time span = samples.back().t - began;
+        q.mistake_duration_total += span;
+        q.mistake_duration_max = std::max(q.mistake_duration_max, span);
+      }
+    }
+  }
+  return q;
+}
+
+FdQos qos_of_leader(const RecordedHistory& h, const FailurePattern& fp) {
+  FdQos q;
+  if (fp.correct().empty()) {
+    // Nobody to agree; vacuously stable from the start (mirrors
+    // check_omega's convention for the empty-correct-set pattern).
+    q.omega_stabilized = true;
+    q.omega_stabilization = 0;
+    return q;
+  }
+
+  // The candidate eventual leader is what each correct process's last
+  // leader-carrying sample says; all must agree or nothing stabilized.
+  Pid eventual = -1;
+  for (Pid p : fp.correct()) {
+    const std::vector<Sample> samples = h.of(p);
+    Pid last = -1;
+    for (auto it = samples.rbegin(); it != samples.rend(); ++it) {
+      if (it->value.has_leader()) {
+        last = it->value.leader();
+        break;
+      }
+    }
+    if (last < 0) return q;  // a correct process never output a leader
+    if (eventual < 0) eventual = last;
+    if (last != eventual) return q;  // still split at the end of the record
+  }
+
+  Time last_violation = -1;
+  for (const Sample& s : h.samples()) {
+    if (s.p < 0 || s.p >= fp.n() || !fp.is_correct(s.p)) continue;
+    if (!s.value.has_leader()) continue;
+    if (s.value.leader() != eventual) {
+      last_violation = std::max(last_violation, s.t);
+    }
+  }
+  q.omega_stabilized = true;
+  q.omega_stabilization = last_violation + 1;
+  return q;
+}
+
+}  // namespace nucon

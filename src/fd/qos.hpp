@@ -1,0 +1,79 @@
+// Failure-detector quality-of-service metrics (Chen–Toueg–Aguilera style),
+// measured from a recorded history against the ground-truth failure
+// pattern.
+//
+// The property checkers in fd/history.hpp answer "is this history in the
+// class" — a yes/no. QoS answers "how good is it": how fast crashes are
+// detected, how often correct processes are wrongly suspected and for how
+// long, and when an Ω history stops changing its mind. All metrics are
+// integer ticks/counts folded in sample order, so tables built from them
+// are deterministic for any thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "fd/history.hpp"
+
+namespace nucon {
+
+struct FdQos {
+  // --- Suspect-list metrics (qos_of_suspects) -------------------------------
+  /// (correct observer, crashed target) pairs considered.
+  std::int64_t crash_pairs = 0;
+  /// Pairs where the observer's samples never reach permanent suspicion of
+  /// the crashed target (detection time undefined).
+  std::int64_t undetected = 0;
+  /// Summed / max detection latency over detected pairs: time of the first
+  /// sample of the observer's final always-suspected suffix minus the
+  /// target's crash time (clamped at 0 for premature-but-permanent
+  /// suspicion).
+  std::int64_t detection_total = 0;
+  Time detection_max = 0;
+  /// Wrongful-suspicion episodes: a correct target transitions into some
+  /// correct observer's suspect set.
+  std::int64_t mistakes = 0;
+  /// Summed / max episode length in ticks (an episode still open at the
+  /// observer's last sample counts up to that sample).
+  std::int64_t mistake_duration_total = 0;
+  Time mistake_duration_max = 0;
+  /// Samples of correct observers that carried a suspects component.
+  std::int64_t observed_samples = 0;
+
+  // --- Leader metrics (qos_of_leader) ---------------------------------------
+  /// True when every correct process's samples end unanimously on one
+  /// leader (who that leader is — and whether it is correct — is
+  /// check_omega's question, not QoS's).
+  bool omega_stabilized = false;
+  /// Smallest sample time from which all correct processes' samples agree
+  /// on the eventual leader; -1 when not stabilized.
+  Time omega_stabilization = -1;
+
+  [[nodiscard]] std::int64_t detected() const {
+    return crash_pairs - undetected;
+  }
+  /// Mean detection latency in ticks (integer floor; 0 when nothing was
+  /// detected).
+  [[nodiscard]] std::int64_t detection_mean() const {
+    return detected() > 0 ? detection_total / detected() : 0;
+  }
+  [[nodiscard]] std::int64_t mistake_duration_mean() const {
+    return mistakes > 0 ? mistake_duration_total / mistakes : 0;
+  }
+  /// Mistake episodes per 1000 observed samples (integer floor).
+  [[nodiscard]] std::int64_t mistakes_per_kilosample() const {
+    return observed_samples > 0 ? mistakes * 1000 / observed_samples : 0;
+  }
+};
+
+/// Suspect-list QoS of a ◇S/◇P-shaped history: detection time of crashed
+/// targets and mistake statistics against correct targets, over samples of
+/// correct observers. Samples without a suspects component are skipped.
+[[nodiscard]] FdQos qos_of_suspects(const RecordedHistory& h,
+                                    const FailurePattern& fp);
+
+/// Leader QoS of an Ω-shaped history: stabilization time of the eventual
+/// unanimous leader. Samples without a leader component are skipped.
+[[nodiscard]] FdQos qos_of_leader(const RecordedHistory& h,
+                                  const FailurePattern& fp);
+
+}  // namespace nucon

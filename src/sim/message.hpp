@@ -32,6 +32,10 @@ struct Message {
   /// Refcounted: the n messages of one broadcast share one sealed buffer.
   SharedBytes payload;
   Time sent_at = 0;
+  /// Earliest time the timing-aware scheduler mode (sim/timing.hpp) will
+  /// deliver the message; equals sent_at (and is ignored) when the mode is
+  /// off. Not monotone within a queue — jitter differs per message.
+  Time ready_at = 0;
 };
 
 /// In-flight messages, grouped per destination in send order. The

@@ -50,6 +50,27 @@ std::optional<Delivery> choose_delivery(const MessageBuffer& buffer, Pid p,
   return Delivery{0, false, false};  // oldest in FIFO order
 }
 
+/// Timed-mode delivery: the earliest-ready pending message, FIFO order on
+/// ties; lambda when nothing has matured yet. Deterministic — no Rng — so
+/// timed runs replay from (options, seed) like untimed ones. Maturity is
+/// eager delivery, which discharges admissibility property (7) directly.
+std::optional<Delivery> choose_delivery_timed(const MessageBuffer& buffer,
+                                              Pid p, Time now) {
+  const std::size_t pending = buffer.pending_for(p);
+  std::optional<std::size_t> best;
+  Time best_ready = 0;
+  for (std::size_t i = 0; i < pending; ++i) {
+    const Time ready = buffer.peek(p, i).ready_at;
+    if (ready > now) continue;
+    if (!best || ready < best_ready) {
+      best = i;
+      best_ready = ready;
+    }
+  }
+  if (!best) return std::nullopt;
+  return Delivery{*best, false, false};
+}
+
 }  // namespace
 
 SimResult simulate(const FailurePattern& fp, Oracle& oracle,
@@ -99,9 +120,11 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
   const ProcessSet schedulable = opts.restrict_to.empty()
                                      ? ProcessSet::full(n)
                                      : opts.restrict_to;
+  const bool timed = opts.timing.enabled;
 
   Time now = 0;
   std::int64_t steps_taken = 0;
+  std::int64_t round_index = 0;
   std::vector<Pid> order;
   std::vector<Outgoing> sends;
 
@@ -119,7 +142,11 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
     for (Pid p : order) {
       ++now;
       if (!fp.alive_at(p, now)) continue;
+      // A speed-skewed process burns its slot without stepping on most
+      // rounds; it still counts as alive so the all-crashed exit below
+      // never fires on a purely slow (but correct) system.
       anyone_stepped = true;
+      if (timed && round_index % opts.timing.speed_of(p) != 0) continue;
 
       std::optional<Delivery> delivery;
       bool injected = false;
@@ -136,7 +163,10 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
           // kInjectLambda (or an index with nothing pending) stays nullopt.
         }
       }
-      if (!injected) delivery = choose_delivery(buffer, p, now, opts, rng);
+      if (!injected) {
+        delivery = timed ? choose_delivery_timed(buffer, p, now)
+                         : choose_delivery(buffer, p, now, opts, rng);
+      }
       std::optional<Message> msg;
       if (delivery) msg = buffer.take(p, delivery->index);
 
@@ -176,6 +206,8 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
         m.id = MsgId{p, ++send_seq[static_cast<std::size_t>(p)]};
         m.to = o.to;
         m.sent_at = now;
+        m.ready_at =
+            timed ? now + opts.timing.message_delay(p, m.id.seq, o.to) : now;
         m.payload = std::move(o.payload);  // moves the share, not the bytes
         result.bytes_sent += m.payload.size();
         ++result.messages_sent;
@@ -213,6 +245,7 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
 
       if (++steps_taken >= opts.max_steps) break;
     }
+    ++round_index;
 
     if (opts.stop_when && opts.stop_when(result.automata)) {
       result.stopped_by_predicate = true;

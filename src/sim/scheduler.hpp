@@ -13,6 +13,7 @@
 
 #include "fd/failure_detector.hpp"
 #include "sim/run.hpp"
+#include "sim/timing.hpp"
 #include "trace/metrics.hpp"
 
 namespace nucon::trace {
@@ -43,6 +44,15 @@ struct SchedulerOptions {
   /// Fairness backstop: once the oldest message pending for the stepping
   /// process is older than this many ticks, it is delivered unconditionally.
   Time max_message_age = 64;
+
+  /// Timing-aware mode (sim/timing.hpp). When enabled, delivery is driven
+  /// by per-message delays (a message becomes deliverable at ready_at and
+  /// a step takes the earliest-ready pending message, oldest first on
+  /// ties) and processes may run at skewed speeds; the lambda/shuffle
+  /// randomness and the fairness backstop are bypassed — latency is the
+  /// model, not the adversary. Default-off, in which case the scheduler is
+  /// byte-for-byte the classic adversarial executor.
+  TimingOptions timing;
 
   /// Record the schedule (one StepRecord per step) into SimResult::run.
   /// Defaults on — replay, merging and the exploration tools all read it —

@@ -1,0 +1,89 @@
+// Timing-aware scheduler mode.
+//
+// The default scheduler models asynchrony abstractly: random lambda steps
+// and reordering, bounded by the fairness backstop. That is the right
+// adversary for the paper's possibility results, but it gives timeouts no
+// meaning — a heartbeat-implemented failure detector (fd/impl/) needs
+// message *latency* and process *speed* to be quantities, not adversarial
+// choices. TimingOptions turns the same executor into a timed network:
+// every message is assigned a deterministic delivery delay (a per-link
+// base plus per-message jitter, all derived by hashing the timing seed
+// with the message identity, never from the scheduler's Rng), and each
+// process may be slowed to take a step only every k-th macro round.
+//
+// Default-off contract: with `enabled == false` the scheduler's behavior
+// — the Rng stream, the recorded schedule, every metric — is byte-for-byte
+// what it was before this mode existed. All timed code paths are gated on
+// the flag, and delay sampling never touches the scheduler Rng, so a timed
+// run is replay-deterministic from (options, seed) exactly like an untimed
+// one.
+#pragma once
+
+#include <vector>
+
+#include "sim/failure_pattern.hpp"
+#include "util/rng.hpp"
+
+namespace nucon {
+
+struct TimingOptions {
+  /// Master switch. Off = the classic adversarial scheduler, untouched.
+  bool enabled = false;
+
+  /// Minimum delivery delay of every message, in scheduler ticks (one
+  /// macro round of n processes spans n ticks).
+  Time delay_base = 1;
+
+  /// Per-message uniform jitter in [0, delay_jitter], hashed from
+  /// (seed, sender, sequence number, receiver).
+  Time delay_jitter = 6;
+
+  /// Per-link heterogeneity: link (s, r) carries a fixed extra base delay
+  /// in [0, link_spread], hashed from (seed, s, r). 0 = uniform links.
+  Time link_spread = 0;
+
+  /// Per-process speed skew: process p takes a step only on macro rounds
+  /// divisible by speed[p] (so speed 1 = full speed, 3 = a third of the
+  /// steps). Missing entries (or an empty vector) mean speed 1. Values
+  /// must be >= 1; correct processes still take infinitely many steps, so
+  /// admissibility property (6) is preserved.
+  std::vector<int> speed;
+
+  /// Seed of the delay hashes; independent of SchedulerOptions::seed so
+  /// the interleaving adversary and the latency model can be varied
+  /// separately.
+  std::uint64_t seed = 0x7151;
+
+  [[nodiscard]] int speed_of(Pid p) const {
+    const auto i = static_cast<std::size_t>(p);
+    return (p >= 0 && i < speed.size() && speed[i] > 1) ? speed[i] : 1;
+  }
+
+  /// The fixed extra base delay of link (from, to).
+  [[nodiscard]] Time link_base(Pid from, Pid to) const {
+    if (link_spread <= 0) return 0;
+    std::uint64_t s = seed ^
+                      (static_cast<std::uint64_t>(from) * 0x9e3779b97f4a7c15ULL) ^
+                      (static_cast<std::uint64_t>(to) * 0xbf58476d1ce4e5b9ULL);
+    return static_cast<Time>(splitmix64(s) %
+                             static_cast<std::uint64_t>(link_spread + 1));
+  }
+
+  /// Total delivery delay of the message (from, seq) -> to: base + link +
+  /// jitter. A pure function of (options, message identity), so replay
+  /// resamples identical delays regardless of delivery order.
+  [[nodiscard]] Time message_delay(Pid from, std::uint64_t seq, Pid to) const {
+    Time d = delay_base + link_base(from, to);
+    if (delay_jitter > 0) {
+      std::uint64_t s = seed ^
+                        (static_cast<std::uint64_t>(from) * 0x94d049bb133111ebULL) ^
+                        (seq * 0x2545f4914f6cdd1dULL) ^
+                        (static_cast<std::uint64_t>(to) * 0xd6e8feb86659fd93ULL);
+      d += static_cast<Time>(splitmix64(s) %
+                             static_cast<std::uint64_t>(delay_jitter + 1));
+    }
+    return d;
+  }
+};
+
+}  // namespace nucon

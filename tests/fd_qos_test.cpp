@@ -1,0 +1,191 @@
+// fd/qos.hpp: exact metric values on hand-crafted histories, plus sanity
+// on histories measured from real heartbeat runs.
+#include "fd/qos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fd/impl/heartbeat.hpp"
+#include "fd/scripted.hpp"
+#include "sim/scheduler.hpp"
+
+namespace nucon {
+namespace {
+
+FailurePattern crash2_at10() {
+  FailurePattern fp(3);
+  fp.set_crash(2, 10);
+  return fp;
+}
+
+FdValue sus(std::initializer_list<Pid> pids) {
+  return FdValue::of_suspects(ProcessSet(pids));
+}
+
+TEST(QosSuspects, ExactDetectionAndMistakeAccounting) {
+  const FailurePattern fp = crash2_at10();
+  RecordedHistory h;
+  // p0: one closed mistake episode against correct p1 (t5..t8, length 3),
+  // then permanent suspicion of crashed p2 from t20 on.
+  h.add(0, 1, sus({}));
+  h.add(0, 5, sus({1}));
+  h.add(0, 8, sus({}));
+  h.add(0, 12, sus({}));
+  h.add(0, 20, sus({2}));
+  h.add(0, 30, sus({2}));
+  // p1 detects p2 at t25.
+  h.add(1, 25, sus({2}));
+  // A leader-only sample is not a suspect-list sample: skipped entirely.
+  h.add(1, 26, FdValue::of_leader(0));
+  // The crashed p2's own samples are not those of a correct observer.
+  h.add(2, 3, sus({0, 1}));
+
+  const FdQos q = qos_of_suspects(h, fp);
+  EXPECT_EQ(q.observed_samples, 7);
+  EXPECT_EQ(q.crash_pairs, 2);
+  EXPECT_EQ(q.undetected, 0);
+  EXPECT_EQ(q.detected(), 2);
+  EXPECT_EQ(q.detection_total, 25);  // (20-10) + (25-10)
+  EXPECT_EQ(q.detection_max, 15);
+  EXPECT_EQ(q.detection_mean(), 12);  // integer floor of 25/2
+  EXPECT_EQ(q.mistakes, 1);
+  EXPECT_EQ(q.mistake_duration_total, 3);
+  EXPECT_EQ(q.mistake_duration_max, 3);
+  EXPECT_EQ(q.mistake_duration_mean(), 3);
+  EXPECT_EQ(q.mistakes_per_kilosample(), 142);  // 1 * 1000 / 7
+}
+
+TEST(QosSuspects, PrematurePermanentSuspicionClampsAtZero) {
+  const FailurePattern fp = crash2_at10();
+  RecordedHistory h;
+  // p0 suspects p2 from t5 — before the crash at t10 — and never recants.
+  // The detection suffix starts at t5; latency is clamped, not negative.
+  h.add(0, 5, sus({2}));
+  h.add(0, 20, sus({2}));
+  h.add(1, 20, sus({2}));
+
+  const FdQos q = qos_of_suspects(h, fp);
+  EXPECT_EQ(q.crash_pairs, 2);
+  EXPECT_EQ(q.undetected, 0);
+  EXPECT_EQ(q.detection_total, 10);  // 0 (clamped) + (20-10)
+  EXPECT_EQ(q.detection_max, 10);
+}
+
+TEST(QosSuspects, MissedCrashCountsAsUndetected) {
+  const FailurePattern fp = crash2_at10();
+  RecordedHistory h;
+  h.add(0, 20, sus({2}));
+  h.add(1, 20, sus({}));  // p1's record ends without suspecting p2
+
+  const FdQos q = qos_of_suspects(h, fp);
+  EXPECT_EQ(q.crash_pairs, 2);
+  EXPECT_EQ(q.undetected, 1);
+  EXPECT_EQ(q.detected(), 1);
+  EXPECT_EQ(q.detection_total, 10);
+}
+
+TEST(QosSuspects, OpenMistakeEpisodeIsChargedToTheLastSample) {
+  const FailurePattern fp = crash2_at10();
+  RecordedHistory h;
+  h.add(0, 5, sus({1}));
+  h.add(0, 9, sus({1}));  // still open at the end of the record
+
+  const FdQos q = qos_of_suspects(h, fp);
+  EXPECT_EQ(q.mistakes, 1);
+  EXPECT_EQ(q.mistake_duration_total, 4);
+  EXPECT_EQ(q.mistake_duration_max, 4);
+}
+
+TEST(QosLeader, StabilizationIsOneAfterTheLastViolation) {
+  const FailurePattern fp = crash2_at10();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_leader(2));  // the one violating sample
+  h.add(0, 4, FdValue::of_leader(0));
+  h.add(0, 9, FdValue::of_leader(0));
+  h.add(1, 2, FdValue::of_leader(0));
+  h.add(1, 8, FdValue::of_leader(0));
+  h.add(2, 3, FdValue::of_leader(1));  // crashed: never counted
+
+  const FdQos q = qos_of_leader(h, fp);
+  EXPECT_TRUE(q.omega_stabilized);
+  EXPECT_EQ(q.omega_stabilization, 2);
+}
+
+TEST(QosLeader, AgreementFromTheStartStabilizesAtZero) {
+  const FailurePattern fp = crash2_at10();
+  RecordedHistory h;
+  h.add(0, 1, FdValue::of_leader(0));
+  h.add(1, 2, FdValue::of_leader(0));
+  const FdQos q = qos_of_leader(h, fp);
+  EXPECT_TRUE(q.omega_stabilized);
+  EXPECT_EQ(q.omega_stabilization, 0);
+}
+
+TEST(QosLeader, SplitFinalLeadersDoNotStabilize) {
+  const FailurePattern fp = crash2_at10();
+  RecordedHistory h;
+  h.add(0, 9, FdValue::of_leader(0));
+  h.add(1, 9, FdValue::of_leader(1));
+  const FdQos q = qos_of_leader(h, fp);
+  EXPECT_FALSE(q.omega_stabilized);
+  EXPECT_EQ(q.omega_stabilization, -1);
+}
+
+TEST(QosLeader, CorrectProcessWithoutLeaderSamplesDoesNotStabilize) {
+  const FailurePattern fp = crash2_at10();
+  RecordedHistory h;
+  h.add(0, 9, FdValue::of_leader(0));
+  h.add(1, 9, sus({}));  // p1 never output a leader component
+  EXPECT_FALSE(qos_of_leader(h, fp).omega_stabilized);
+}
+
+TEST(QosLeader, EmptyCorrectSetIsVacuouslyStable) {
+  FailurePattern fp(2);
+  fp.set_crash(0, 5);
+  fp.set_crash(1, 5);
+  const FdQos q = qos_of_leader(RecordedHistory{}, fp);
+  EXPECT_TRUE(q.omega_stabilized);
+  EXPECT_EQ(q.omega_stabilization, 0);
+}
+
+// --- Measured QoS sanity ----------------------------------------------------
+
+RecordedHistory measure(HeartbeatMode mode, const FailurePattern& fp) {
+  RecordedHistory h;
+  SchedulerOptions opts;
+  opts.seed = 7;
+  opts.max_steps = 8000;
+  opts.record_run = false;
+  opts.timing.enabled = true;
+  opts.on_step = [&h](const StepRecord& rec,
+                      const std::vector<std::unique_ptr<Automaton>>& automata) {
+    const auto* hb = static_cast<const HeartbeatFd*>(
+        automata[static_cast<std::size_t>(rec.p)].get());
+    h.add(rec.p, rec.t, hb->output());
+  };
+  ScriptedOracle oracle([](Pid, Time) { return FdValue{}; });
+  (void)simulate(fp, oracle, make_heartbeat_fd(fp.n(), mode), opts);
+  return h;
+}
+
+TEST(QosMeasured, HeartbeatDiamondSDetectsEveryCrash) {
+  FailurePattern fp(4);
+  fp.set_crash(3, 200);
+  const FdQos q =
+      qos_of_suspects(measure(HeartbeatMode::kDiamondS, fp), fp);
+  EXPECT_EQ(q.crash_pairs, 3);  // three correct observers, one crash
+  EXPECT_EQ(q.undetected, 0);
+  EXPECT_GT(q.detection_max, 0);
+  EXPECT_GT(q.observed_samples, 0);
+}
+
+TEST(QosMeasured, HeartbeatOmegaStabilizesAfterTheLeaderCrashes) {
+  FailurePattern fp(4);
+  fp.set_crash(0, 200);  // the initial heartbeat-chain leader crashes
+  const FdQos q = qos_of_leader(measure(HeartbeatMode::kOmega, fp), fp);
+  EXPECT_TRUE(q.omega_stabilized);
+  // Stabilizing on the post-crash leader takes at least until the crash.
+  EXPECT_GT(q.omega_stabilization, 200);
+}
+
+}  // namespace
+}  // namespace nucon

@@ -271,5 +271,66 @@ TEST(EventuallyClauses, ViolationAtTheLastSampleTimeFails) {
   EXPECT_FALSE(check_omega(h, fp).ok);
 }
 
+TEST(EventuallyClauses, CorrectProcessWithoutSamplesFailsEvtStrong) {
+  // Adversarial vacuity probe: process 1 is correct but contributes no
+  // samples, so strong completeness has no witness for it — the checker
+  // must not pass on the strength of process 0's record alone.
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 60, FdValue::of_suspects(ProcessSet{2}));
+  EXPECT_FALSE(check_evt_strong(h, fp).ok);
+  EXPECT_FALSE(check_evt_perfect(h, fp).ok);
+  EXPECT_FALSE(check_strong(h, fp).ok);
+}
+
+TEST(EventuallyClauses, MissingSuspectsComponentAtTheEndIsAViolation) {
+  // A trailing sample without a suspects component cannot witness the
+  // suffix: the clause treats it as violating, and with no later sample
+  // the check fails rather than passing vacuously.
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 60, FdValue::of_suspects(ProcessSet{2}));
+  h.add(1, 60, FdValue::of_suspects(ProcessSet{2}));
+  h.add(1, 61, FdValue::of_leader(0));  // no suspects component, and last
+  EXPECT_FALSE(check_evt_strong(h, fp).ok);
+}
+
+TEST(EventuallyClauses, EmptyCorrectSetIsVacuousAcrossAllThreeCheckers) {
+  // Regression (alignment sweep): check_strong and check_evt_strong used to
+  // reject the no-correct-process pattern — check_strong because
+  // "correct - ever_suspected" is empty for the empty correct set,
+  // check_evt_strong because its witness loop had nothing to iterate —
+  // while check_omega passed it vacuously. All three now agree: no correct
+  // process, no obligation.
+  FailurePattern fp(2);
+  fp.set_crash(0, 5);
+  fp.set_crash(1, 5);
+
+  const RecordedHistory empty;
+  EXPECT_TRUE(check_omega(empty, fp).ok);
+  EXPECT_TRUE(check_strong(empty, fp).ok);
+  EXPECT_TRUE(check_evt_strong(empty, fp).ok);
+  EXPECT_TRUE(check_diamond_s(empty, fp).ok);
+
+  // Garbage from faulty processes changes nothing: the classes constrain
+  // correct processes only.
+  RecordedHistory garbage;
+  garbage.add(0, 1, FdValue::of_suspects(ProcessSet{0, 1}));
+  garbage.add(1, 2, FdValue::of_leader(1));
+  garbage.add(0, 3, FdValue::of_suspects(ProcessSet{}));
+  EXPECT_TRUE(check_omega(garbage, fp).ok);
+  EXPECT_TRUE(check_strong(garbage, fp).ok);
+  EXPECT_TRUE(check_evt_strong(garbage, fp).ok);
+}
+
+TEST(EventuallyClauses, DiamondSAliasMatchesEvtStrong) {
+  const auto fp = two_correct_one_faulty();
+  RecordedHistory h;
+  h.add(0, 60, FdValue::of_suspects(ProcessSet{2}));
+  h.add(1, 61, FdValue::of_suspects(ProcessSet{2}));
+  EXPECT_EQ(check_diamond_s(h, fp).ok, check_evt_strong(h, fp).ok);
+  EXPECT_TRUE(check_diamond_s(h, fp).ok);
+}
+
 }  // namespace
 }  // namespace nucon

@@ -21,6 +21,11 @@
 //   --crash-at T     pin all crashes at time T (0 = spread randomly)
 //   --max-steps M    step budget per run                (default 200000)
 //   --faulty-mode X  benign | noise | adversarial       (default adversarial)
+//   --fd X           generated | implemented            (default generated)
+//                    implemented hosts heartbeat Omega/<>S modules beside
+//                    the algorithm under the timing-aware scheduler instead
+//                    of reading a pattern-generated oracle; not available
+//                    for ben-or / from-scratch
 //   --print-steps N  print the first/last N steps of the run
 //   --trace FILE     write a structured JSONL trace of the run to FILE
 //                    (multi-seed runs write FILE.seed<k>); inspect with
@@ -49,6 +54,7 @@ struct Cli {
   Time crash_at = 0;
   std::int64_t max_steps = 200'000;
   std::string faulty_mode = "adversarial";
+  std::string fd = "generated";
   std::size_t print_steps = 0;
   std::string trace_file;
   std::string replay;
@@ -61,6 +67,12 @@ std::optional<FaultyQuorumBehavior> parse_mode(const std::string& mode) {
   return std::nullopt;
 }
 
+std::optional<exp::FdSource> parse_fd(const std::string& fd) {
+  if (fd == "generated") return exp::FdSource::kGenerated;
+  if (fd == "implemented") return exp::FdSource::kImplemented;
+  return std::nullopt;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--algo anuc|stacked|mr-majority|mr-sigma|naive|ct|"
@@ -68,7 +80,8 @@ int usage(const char* argv0) {
                "  [--n N] [--faults F] [--seed S] [--seeds K] [--threads T] "
                "[--stabilize T] [--crash-at T]\n"
                "  [--max-steps M] [--faulty-mode benign|noise|adversarial] "
-               "[--print-steps N] [--trace FILE]\n"
+               "[--fd generated|implemented]\n"
+               "  [--print-steps N] [--trace FILE]\n"
                "  [--replay 'ARTIFACT']\n",
                argv0);
   return 2;
@@ -160,6 +173,8 @@ int main(int argc, char** argv) {
       cli.max_steps = std::atoll(value);
     } else if (flag == "--faulty-mode" && (value = next())) {
       cli.faulty_mode = value;
+    } else if (flag == "--fd" && (value = next())) {
+      cli.fd = value;
     } else if (flag == "--print-steps" && (value = next())) {
       cli.print_steps = static_cast<std::size_t>(std::atoll(value));
     } else if (flag == "--trace" && (value = next())) {
@@ -191,13 +206,24 @@ int main(int argc, char** argv) {
 
   const auto algo = exp::parse_algo(cli.algo);
   const auto mode = parse_mode(cli.faulty_mode);
-  if (!algo || !mode || cli.n < 2 || cli.n > kMaxProcesses || cli.faults < 0 ||
-      cli.faults >= cli.n || cli.seeds < 1 || cli.threads < 1) {
+  const auto fd = parse_fd(cli.fd);
+  if (!algo || !mode || !fd || cli.n < 2 || cli.n > kMaxProcesses ||
+      cli.faults < 0 || cli.faults >= cli.n || cli.seeds < 1 ||
+      cli.threads < 1 ||
+      (*fd == exp::FdSource::kImplemented &&
+       !exp::supports_implemented_fd(*algo))) {
     if (!algo) {
       std::fprintf(stderr, "unknown --algo: %s\n", cli.algo.c_str());
     } else if (!mode) {
       std::fprintf(stderr, "unknown --faulty-mode: %s\n",
                    cli.faulty_mode.c_str());
+    } else if (!fd) {
+      std::fprintf(stderr, "unknown --fd: %s\n", cli.fd.c_str());
+    } else if (fd && *fd == exp::FdSource::kImplemented &&
+               !exp::supports_implemented_fd(*algo)) {
+      std::fprintf(stderr,
+                   "--fd implemented: %s consumes no Omega/<>S oracle layer\n",
+                   cli.algo.c_str());
     } else {
       std::fprintf(stderr,
                    "invalid combination: n=%d faults=%d seeds=%d threads=%d\n",
@@ -218,6 +244,7 @@ int main(int argc, char** argv) {
     pt.faulty_mode = *mode;
     pt.max_steps = cli.max_steps;
     pt.seed = cli.seed + static_cast<std::uint64_t>(k);
+    pt.fd = *fd;
     points.push_back(pt);
   }
 
