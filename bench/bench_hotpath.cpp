@@ -23,6 +23,7 @@
 #include <cstdlib>
 
 #include "bench_util.hpp"
+#include "prof/profiler.hpp"
 #include "util/shared_bytes.hpp"
 
 namespace nucon::bench {
@@ -125,13 +126,59 @@ void experiments() {
     grid.ns = {5};
     grid.seed_count = quick ? 2 : 8;
     grid.max_steps = quick ? 20'000 : 60'000;
-    const exp::SweepResult result = exp::SweepRunner{}.run(grid);
+    exp::SweepRunner runner;
+    runner.set_profiling(true);
+    const exp::SweepResult result = runner.run(grid);
     record_sweep("hotpath-sweep", "3 algos x n=5, engine throughput", result);
+    record_profile("hotpath-sweep", result.profile);
     TextTable t({"points", "wall_s", "steps/s"});
     t.add_row({std::to_string(result.jobs.size()),
                TextTable::fmt(result.wall_seconds, 3),
                TextTable::fmt(result.steps_per_second, 0)});
     print_section("H2: sweep-engine throughput (record_run off in workers)",
+                  t);
+  }
+
+  // H3: where does a scheduler step go as n grows? One fresh collector per
+  // n so each row is an independent per-phase breakdown; the same data
+  // lands in the report's "profiles" section for nucon_bench to track.
+  // n stops at kMaxProcesses (=64, ProcessSet is one 64-bit mask) — the
+  // cap the "production scale" roadmap item would have to lift first.
+  {
+    const std::vector<Pid> ns =
+        quick ? std::vector<Pid>{6, 16, 32} : std::vector<Pid>{6, 16, 32, 64};
+    TextTable t({"n", "steps/s", "ns/step", "deliver", "oracle", "automaton",
+                 "encode", "trace", "coverage"});
+    for (const Pid pn : ns) {
+      prof::ProfileCollector profile;
+      const auto started = std::chrono::steady_clock::now();
+      std::int64_t steps = 0;
+      for (const exp::SweepPoint& pt :
+           points_for(exp::Algo::kAnuc, pn, quick ? 1 : 3,
+                      quick ? 10'000 : 50'000)) {
+        steps += static_cast<std::int64_t>(exp::run_point(pt, &profile).steps);
+      }
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - started)
+                                 .count();
+      const auto phase_ns = [&profile](prof::Phase ph) {
+        return TextTable::fmt(profile.ns_per_call(ph), 0);
+      };
+      t.add_row({std::to_string(pn),
+                 TextTable::fmt(elapsed > 0.0
+                                    ? static_cast<double>(steps) / elapsed
+                                    : 0.0,
+                                0),
+                 TextTable::fmt(profile.ns_per_call(prof::Phase::kStep), 0),
+                 phase_ns(prof::Phase::kDeliveryChoice),
+                 phase_ns(prof::Phase::kOracleSample),
+                 phase_ns(prof::Phase::kAutomatonStep),
+                 phase_ns(prof::Phase::kPayloadEncode),
+                 phase_ns(prof::Phase::kTraceHook),
+                 TextTable::fmt(profile.covered_fraction(), 3)});
+      record_profile("anuc-n" + std::to_string(pn), profile);
+    }
+    print_section("H3: per-phase step breakdown vs n (A_nuc, ns per call)",
                   t);
   }
 }

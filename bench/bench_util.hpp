@@ -140,6 +140,15 @@ inline void record_sweep(std::string name, std::string spec,
       result.fold_seconds;
 }
 
+/// Captures one profiled workload's per-phase breakdown as a report
+/// section (no-op for an empty collector, e.g. NUCON_DISABLE_PROFILING).
+inline void record_profile(std::string name,
+                           const prof::ProfileCollector& collector) {
+  if (collector.empty()) return;
+  report().profiles.push_back(
+      obs::profile_section_of(std::move(name), collector));
+}
+
 inline int write_bench_report(const char* name) {
   report().name = name;
   const std::string path = std::string("BENCH_") + name + ".json";

@@ -22,6 +22,13 @@
 # See EXPERIMENTS.md "Throughput baseline", "Exhaustive model checking"
 # and "Coverage-guided fuzzing".
 #
+# Afterwards nucon_bench collects every BENCH_*.json into
+# build/BENCH_manifest.json (validating each against the report schema),
+# appends the run to the committed bench/history/ledger.jsonl trend
+# ledger, and prints the diff against the previous ledger entry
+# (informational here; `nucon_bench check` without --informational is the
+# gating flavor). See EXPERIMENTS.md "Profiling & trend tracking".
+#
 # Usage: scripts/bench-quick.sh   (from the repo root)
 set -e
 cd "$(dirname "$0")/.."
@@ -29,3 +36,14 @@ cmake --preset default
 cmake --build --preset bench-quick
 cmake --build --preset fuzz-smoke
 echo "==> bench-quick: wrote build/BENCH_hotpath.json, build/BENCH_model.json, build/BENCH_fdqos.json and build/BENCH_fuzz.json"
+cmake --build build --target nucon_bench
+echo "==> nucon_bench manifest"
+build/tools/nucon_bench manifest --out build/BENCH_manifest.json \
+  build/BENCH_hotpath.json build/BENCH_model.json \
+  build/BENCH_fdqos.json build/BENCH_fuzz.json
+echo "==> nucon_bench record + trend check"
+NUCON_GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+  build/tools/nucon_bench record --history bench/history \
+  build/BENCH_hotpath.json build/BENCH_model.json \
+  build/BENCH_fdqos.json build/BENCH_fuzz.json
+build/tools/nucon_bench check --history bench/history --informational

@@ -5,17 +5,20 @@
 # carry one configure step, so the matrix lives here:
 #
 #   check-default   configure + build + the whole ctest suite (RelWithDebInfo)
-#   check-asan      configure + build + sweep/obs/mc/fuzz/fdqos-labeled ctest under ASan/UBSan
-#   check-tsan      configure + build + sweep/obs/mc/fuzz/fdqos-labeled ctest under TSan
+#   check-asan      configure + build + sweep/obs/mc/fuzz/fdqos/prof-labeled ctest under ASan/UBSan
+#   check-tsan      configure + build + sweep/obs/mc/fuzz/fdqos/prof-labeled ctest under TSan
 #
 # (the mc label covers the model checker's parallel-frontier determinism
 # suite, fuzz covers the schedule fuzzer's engine/minimizer/corpus
-# suites, and fdqos covers the timing-aware scheduler mode plus the
-# heartbeat-implemented detectors — all worth re-running under the
+# suites, fdqos covers the timing-aware scheduler mode plus the
+# heartbeat-implemented detectors, and prof covers the hot-path profiling
+# probes and the trend/regression engine — all worth re-running under the
 # sanitizers), then runs the
 # quick throughput baselines plus the 10s fuzz smoke campaign
 # (scripts/bench-quick.sh) so a perf regression in the simulation core or
-# a lost rediscovery in the fuzzer shows up in the same pass.
+# a lost rediscovery in the fuzzer shows up in the same pass, and finally
+# the informational bench-trend target (last-two-ledger-entries diff per
+# series; never fails the build).
 #
 # Usage: scripts/check-all.sh   (from the repo root)
 set -e
@@ -26,4 +29,6 @@ for wf in check-default check-asan check-tsan; do
 done
 echo "==> scripts/bench-quick.sh"
 scripts/bench-quick.sh
+echo "==> bench-trend (informational)"
+cmake --build build --target bench-trend
 echo "==> check-all: all workflows passed"

@@ -167,6 +167,10 @@ void write_runner_report(const SweepResult& result, const std::string& path) {
   }
   report.sweeps.push_back(obs::section_of(
       "total", std::to_string(result.jobs.size()) + " points", result));
+  if (!result.profile.empty()) {
+    report.profiles.push_back(
+        obs::profile_section_of("sweep-total", result.profile));
+  }
   report.timings["execute"] = result.wall_seconds;
   report.timings["fold"] = result.fold_seconds;
   if (!obs::write_report_json(report, path)) {
@@ -448,11 +452,13 @@ std::vector<Value> proposals_of(const SweepPoint& pt) {
   return out;
 }
 
-ConsensusRunStats run_point(const SweepPoint& pt) {
+ConsensusRunStats run_point(const SweepPoint& pt,
+                            prof::ProfileCollector* profile) {
   PointSetup setup(pt);
   // Sweep jobs fold into summary stats; nobody reads the StepRecord
   // vector, so skip growing it. simulate_point/trace_point keep recording.
   setup.opts.record_run = false;
+  setup.opts.profile = profile;
   return run_consensus(setup.fp, setup.oracle.top(), setup.make,
                        setup.proposals, setup.opts);
 }
@@ -506,11 +512,15 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& points) const {
     ThreadPool pool(threads_);
     std::vector<std::future<void>> done;
     done.reserve(points.size());
+    const bool profiling = profiling_;
     for (std::size_t i = 0; i < points.size(); ++i) {
-      done.push_back(pool.submit([&result, &points, i] {
+      done.push_back(pool.submit([&result, &points, profiling, i] {
         JobOutcome out;
         out.point = points[i];
-        out.stats = run_point(points[i]);
+        // One collector per job: the rdtsc probes are single-threaded,
+        // and the serial merge below keeps the counts deterministic.
+        out.stats =
+            run_point(points[i], profiling ? &out.profile : nullptr);
         out.ok = meets_expectation(out.point, out.stats);
         result.jobs[i] = std::move(out);
       }));
@@ -552,6 +562,7 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& points) const {
     agg.messages.add(static_cast<double>(job.stats.messages_sent));
     agg.kbytes.add(static_cast<double>(job.stats.bytes_sent) / 1024.0);
     agg.metrics.merge(job.stats.metrics);
+    result.profile.merge(job.profile);
   }
   result.fold_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - fold_started)

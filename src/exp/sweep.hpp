@@ -28,6 +28,7 @@
 
 #include "algo/harness.hpp"
 #include "fd/sigma_nu.hpp"
+#include "prof/profiler.hpp"
 #include "trace/trace_recorder.hpp"
 #include "util/stats.hpp"
 
@@ -167,6 +168,10 @@ struct JobOutcome {
   ConsensusRunStats stats;
   /// Verdict measured against expectation(point.algo).
   bool ok = true;
+  /// Hot-path phase profile of this job (empty unless the runner had
+  /// set_profiling(true)). Call counts are deterministic; tick timings
+  /// are wall-clock.
+  prof::ProfileCollector profile;
 };
 
 /// Merged view of a sweep, folded serially in expansion order.
@@ -209,6 +214,10 @@ struct SweepResult {
   /// like the fields above it never enters the aggregate and is emitted in
   /// reports only alongside the other timing fields.
   double steps_per_second = 0.0;
+  /// Per-job profiles merged serially in expansion order (empty unless
+  /// the runner had set_profiling(true)). Call counts deterministic, tick
+  /// timings wall-clock — reports emit them behind include_timings only.
+  prof::ProfileCollector profile;
 };
 
 class SweepRunner {
@@ -222,6 +231,14 @@ class SweepRunner {
   /// paths land in SweepAggregate::failure_trace_paths next to the replay
   /// artifacts. Empty (the default) disables attachment.
   void set_trace_dir(std::string dir) { trace_dir_ = std::move(dir); }
+
+  /// Attach a hot-path ProfileCollector to every job's scheduler run.
+  /// Each job profiles into its own collector (rdtsc probes are not
+  /// thread-safe to share) and the runner merges them serially in
+  /// expansion order into SweepResult::profile; the deterministic
+  /// `prof.<phase>.calls` counters land in each job's metrics and hence
+  /// the aggregate, bit-identical for any thread count.
+  void set_profiling(bool on) { profiling_ = on; }
 
   /// After every run(), write a versioned JSON report to `path`: one
   /// section per grid cell (all seeds of one algo/n/faults/stab/mode
@@ -238,6 +255,7 @@ class SweepRunner {
 
  private:
   unsigned threads_;
+  bool profiling_ = false;
   std::string trace_dir_;
   std::string report_path_;
 };
@@ -249,8 +267,11 @@ class SweepRunner {
 [[nodiscard]] std::vector<Value> proposals_of(const SweepPoint& pt);
 
 /// Executes one point to its stats summary (this is the per-job body the
-/// runner schedules; callable serially too).
-[[nodiscard]] ConsensusRunStats run_point(const SweepPoint& pt);
+/// runner schedules; callable serially too). A non-null `profile`
+/// receives the run's rdtsc phase breakdown and makes the deterministic
+/// `prof.<phase>.calls` counters appear in the returned metrics.
+[[nodiscard]] ConsensusRunStats run_point(
+    const SweepPoint& pt, prof::ProfileCollector* profile = nullptr);
 
 /// Full simulation of one point, for tracing/debugging (keeps the recorded
 /// Run and the automata, which run_point folds away).

@@ -72,6 +72,26 @@ std::string metrics_json(const trace::MetricsRegistry& metrics) {
   return os.str();
 }
 
+std::string profile_section_json(const ProfileSection& p) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << json_escape(p.name) << "\",\"steps\":" << p.steps
+     << ",\"step_seconds\":" << double_json(p.step_seconds)
+     << ",\"ns_per_step\":" << double_json(p.ns_per_step)
+     << ",\"covered_fraction\":" << double_json(p.covered_fraction)
+     << ",\"phases\":[";
+  for (std::size_t i = 0; i < p.phases.size(); ++i) {
+    const ProfilePhaseRow& row = p.phases[i];
+    if (i > 0) os << ",";
+    os << "{\"phase\":\"" << json_escape(row.phase)
+       << "\",\"calls\":" << row.calls
+       << ",\"seconds\":" << double_json(row.seconds)
+       << ",\"ns_per_call\":" << double_json(row.ns_per_call)
+       << ",\"share\":" << double_json(row.share) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
 std::string sweep_section_json(const SweepSection& s, bool include_timings) {
   std::ostringstream os;
   os << "{\"name\":\"" << json_escape(s.name) << "\",\"spec\":\""
@@ -164,6 +184,35 @@ SweepSection section_of_jobs(std::string name, std::string spec,
   return s;
 }
 
+ProfileSection profile_section_of(std::string name,
+                                  const prof::ProfileCollector& collector) {
+  ProfileSection p;
+  p.name = std::move(name);
+  const prof::PhaseStats& envelope =
+      collector.phase(prof::Phase::kStep);
+  p.steps = envelope.calls;
+  p.step_seconds = collector.seconds(prof::Phase::kStep);
+  p.ns_per_step = collector.ns_per_call(prof::Phase::kStep);
+  p.covered_fraction = collector.covered_fraction();
+  for (int i = 0; i < prof::kPhaseCount; ++i) {
+    const auto ph = static_cast<prof::Phase>(i);
+    if (ph == prof::Phase::kStep) continue;
+    const prof::PhaseStats& s = collector.phase(ph);
+    if (s.calls == 0) continue;
+    ProfilePhaseRow row;
+    row.phase = prof::phase_name(ph);
+    row.calls = s.calls;
+    row.seconds = collector.seconds(ph);
+    row.ns_per_call = collector.ns_per_call(ph);
+    row.share = envelope.ticks > 0
+                    ? static_cast<double>(s.ticks) /
+                          static_cast<double>(envelope.ticks)
+                    : 0.0;
+    p.phases.push_back(std::move(row));
+  }
+  return p;
+}
+
 std::string report_json(const BenchReport& report, bool include_timings) {
   std::ostringstream os;
   os << "{\"v\":" << kReportSchemaVersion << ",\"name\":\""
@@ -194,6 +243,17 @@ std::string report_json(const BenchReport& report, bool include_timings) {
     os << sweep_section_json(report.sweeps[i], include_timings);
   }
   os << "]";
+  // Profile sections are wall-clock through and through (tick timings),
+  // so like wall_seconds they exist only behind include_timings — the
+  // timing-free body stays a pure function of the fold.
+  if (include_timings && !report.profiles.empty()) {
+    os << ",\"profiles\":[";
+    for (std::size_t i = 0; i < report.profiles.size(); ++i) {
+      if (i > 0) os << ",";
+      os << profile_section_json(report.profiles[i]);
+    }
+    os << "]";
+  }
   if (include_timings && !report.timings.empty()) {
     os << ",\"timings\":{";
     bool first = true;
@@ -221,6 +281,26 @@ std::string report_markdown(const BenchReport& report) {
       os << "|";
       for (const std::string& cell : row) os << " " << cell << " |";
       os << "\n";
+    }
+  }
+  if (!report.profiles.empty()) {
+    char buf[64];
+    const auto fmt = [&buf](double v, int prec) {
+      std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+      return std::string(buf);
+    };
+    for (const ProfileSection& p : report.profiles) {
+      os << "\n### profile: " << p.name << "\n\n"
+         << "steps=" << p.steps << "  ns/step=" << fmt(p.ns_per_step, 1)
+         << "  phase coverage=" << fmt(p.covered_fraction * 100.0, 1)
+         << "%\n\n"
+         << "| phase | calls | total ms | ns/call | share |\n"
+         << "|---|---|---|---|---|\n";
+      for (const ProfilePhaseRow& row : p.phases) {
+        os << "| " << row.phase << " | " << row.calls << " | "
+           << fmt(row.seconds * 1e3, 3) << " | " << fmt(row.ns_per_call, 1)
+           << " | " << fmt(row.share * 100.0, 1) << "% |\n";
+      }
     }
   }
   if (!report.sweeps.empty()) {
@@ -259,11 +339,24 @@ std::string report_markdown(const BenchReport& report) {
 
 bool write_report_json(const BenchReport& report, const std::string& path) {
   const std::string json = report_json(report, /*include_timings=*/true);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Write-to-temp-then-rename: a bench killed mid-write leaves at worst a
+  // stale *.tmp, never a truncated BENCH_*.json that validate_report_json
+  // (or the trend ledger) would later choke on. rename(2) replaces an
+  // existing report atomically on every platform this builds on.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return false;
   const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  const bool ok = written == json.size();
-  return (std::fclose(f) == 0) && ok;
+  const bool ok = (written == json.size()) && (std::fflush(f) == 0);
+  if (std::fclose(f) != 0 || !ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -432,10 +525,12 @@ std::optional<std::string> validate_report_json(const std::string& json) {
   c.skip_ws();
   if (c.s != c.end) return "trailing bytes after the JSON document";
 
-  // 2. Top-level shape: an object with the versioned header.
+  // 2. Top-level shape: an object with the versioned header. v1 (the
+  // pre-profiling schema) stays readable: the bench/history ledger and
+  // archived BENCH_*.json documents predate the "profiles" section.
   const auto v = top_level_field(json, "v");
   if (!v) return "missing schema version field \"v\"";
-  if (*v != std::to_string(kReportSchemaVersion)) {
+  if (*v != std::to_string(kReportSchemaVersion) && *v != "1") {
     return "unsupported report schema version " + *v;
   }
   const auto name = top_level_field(json, "name");
@@ -467,6 +562,28 @@ std::optional<std::string> validate_report_json(const std::string& json) {
     }
     ++section;
     pos = next;
+  }
+
+  // 4. When the v2 "profiles" section is present it must be an array of
+  // sections that each carry the phase-breakdown keys.
+  if (const auto profiles = top_level_field(json, "profiles")) {
+    if ((*profiles)[0] != '[') return "non-array \"profiles\"";
+    std::size_t ppos = 0;
+    std::size_t psection = 0;
+    while ((ppos = profiles->find("{\"name\":", ppos)) != std::string::npos) {
+      std::size_t next = profiles->find("{\"name\":", ppos + 1);
+      if (next == std::string::npos) next = profiles->size();
+      const std::string slice = profiles->substr(ppos, next - ppos);
+      for (const char* key : {"\"steps\":", "\"step_seconds\":",
+                              "\"covered_fraction\":", "\"phases\":"}) {
+        if (slice.find(key) == std::string::npos) {
+          return "profile section " + std::to_string(psection) + " missing " +
+                 key;
+        }
+      }
+      ++psection;
+      ppos = next;
+    }
   }
   return std::nullopt;
 }

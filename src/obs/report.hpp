@@ -24,12 +24,15 @@
 #include <vector>
 
 #include "exp/sweep.hpp"
+#include "prof/profiler.hpp"
 
 namespace nucon::obs {
 
 /// Report schema version, stamped as `"v"` into every emitted JSON
-/// document and checked by validate_report_json.
-inline constexpr std::int64_t kReportSchemaVersion = 1;
+/// document and checked by validate_report_json (which still accepts v1
+/// documents: the bench/history ledger may hold pre-profiling entries).
+/// v2 added the "profiles" section (hot-path phase breakdowns).
+inline constexpr std::int64_t kReportSchemaVersion = 2;
 
 /// One folded sweep: verdict counts, cost means, metrics, failures.
 struct SweepSection {
@@ -68,10 +71,38 @@ struct TableSection {
   std::vector<std::vector<std::string>> rows;
 };
 
+/// One hot-path phase of a profile section (prof/profiler.hpp taxonomy).
+/// seconds/ns_per_call/share are wall-clock — like wall_seconds they are
+/// emitted only behind include_timings; calls alone is deterministic.
+struct ProfilePhaseRow {
+  std::string phase;
+  std::int64_t calls = 0;
+  double seconds = 0.0;
+  double ns_per_call = 0.0;
+  /// This phase's fraction of the step envelope.
+  double share = 0.0;
+};
+
+/// Per-phase breakdown of one profiled workload (e.g. "anuc n=64"):
+/// the kStep envelope plus the inner phases that partition it.
+struct ProfileSection {
+  std::string name;
+  std::int64_t steps = 0;        ///< envelope calls
+  double step_seconds = 0.0;     ///< total wall-clock inside the envelope
+  double ns_per_step = 0.0;
+  /// sum(inner phase time) / envelope time; the acceptance floor the
+  /// prof tests pin is >= 0.9.
+  double covered_fraction = 0.0;
+  std::vector<ProfilePhaseRow> phases;  ///< inner phases only (no kStep)
+};
+
 struct BenchReport {
   std::string name;  // e.g. "E6" -> BENCH_E6.json
   std::vector<TableSection> tables;
   std::vector<SweepSection> sweeps;
+  /// Hot-path phase breakdowns (nondeterministic timings; the whole
+  /// section is emitted only behind include_timings).
+  std::vector<ProfileSection> profiles;
   /// Named wall-clock phases (nondeterministic; include_timings only).
   std::map<std::string, double> timings;
 };
@@ -88,6 +119,11 @@ struct BenchReport {
     const std::vector<exp::JobOutcome>& jobs,
     const std::vector<std::size_t>& indices);
 
+/// Renders a collector into a report section: the kStep envelope becomes
+/// steps/step_seconds, every non-empty inner phase a ProfilePhaseRow.
+[[nodiscard]] ProfileSection profile_section_of(
+    std::string name, const prof::ProfileCollector& collector);
+
 /// The JSON document. include_timings=false omits every wall-clock field,
 /// leaving a string that is bit-identical for any thread count.
 [[nodiscard]] std::string report_json(const BenchReport& report,
@@ -98,6 +134,9 @@ struct BenchReport {
 [[nodiscard]] std::string report_markdown(const BenchReport& report);
 
 /// Writes report_json(report, true) to `path`; false on I/O failure.
+/// Atomic: the document is written to `path + ".tmp"` and renamed into
+/// place, so an interrupted bench can never leave a truncated JSON behind
+/// (re-runs replace the previous report either way).
 bool write_report_json(const BenchReport& report, const std::string& path);
 
 /// Structural validation of an emitted report: JSON syntax, schema

@@ -1,0 +1,98 @@
+// Benchmark trend extraction, ledger lines, and regression diffing.
+//
+// The raw material is the BENCH_*.json documents every bench binary emits
+// (obs/report.hpp schema). extract_trend() flattens one document into
+// named numeric metrics with stable keys:
+//
+//   sweep:<name>:steps_per_second      engine throughput of a sweep section
+//   sweep:<name>:wall_seconds          its parallel-phase wall clock
+//   profile:<name>:ns_per_step         hot-path envelope cost
+//   profile:<name>:<phase>:ns_per_call per-phase breakdown
+//   table:<title>:<row>:<header>       numeric experiment-table cells
+//   timing:<key>                       named wall-clock phases
+//
+// Each key classifies as higher-is-better (rates: ".../s", "per_second"),
+// lower-is-better (durations: "seconds", "ns_per_..."), or informational
+// (counts, ratios) — only the first two participate in regression
+// verdicts. diff_trends() compares two entries metric by metric against a
+// relative tolerance; the nucon_bench CLI turns its verdict into exit
+// codes (`diff`, `check`) and appends machine-tagged, git-sha-stamped
+// entries to the committed bench/history/ ledger (`record`), one JSON
+// object per line.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nucon::prof {
+
+enum class Direction { kHigherIsBetter, kLowerIsBetter, kInformational };
+
+/// Classification by key substring (see file comment). Durations win over
+/// rates when both patterns appear ("wall_seconds" stays lower-is-better).
+[[nodiscard]] Direction direction_of(const std::string& key);
+[[nodiscard]] const char* direction_name(Direction d);
+
+/// One flattened report: identification tags plus the metric map.
+struct TrendEntry {
+  std::string bench;        ///< report name ("hotpath", "fdqos", ...)
+  std::string machine;      ///< hostname tag (ledger entries)
+  std::string git_sha;      ///< source revision tag (ledger entries)
+  std::string recorded_at;  ///< ISO-8601 UTC, informational only
+  std::map<std::string, double> metrics;
+};
+
+/// Flattens a validated BENCH report document. Returns nullopt on
+/// malformed JSON or a non-report shape; `error` (when non-null) gets the
+/// diagnostic. Tags other than `bench` are left empty — the recorder
+/// stamps them.
+[[nodiscard]] std::optional<TrendEntry> extract_trend(
+    const std::string& report_json, std::string* error);
+
+/// One ledger line (a complete JSON object, no trailing newline).
+[[nodiscard]] std::string ledger_line(const TrendEntry& entry);
+
+/// Parses one ledger line back. Returns nullopt with a diagnostic in
+/// `error` on malformed input; the caller owns line numbering.
+[[nodiscard]] std::optional<TrendEntry> parse_ledger_line(
+    const std::string& line, std::string* error);
+
+struct MetricDelta {
+  std::string key;
+  double before = 0.0;
+  double after = 0.0;
+  /// Signed relative change, positive = better (direction-aware);
+  /// 0 for informational or non-comparable metrics.
+  double gain = 0.0;
+  Direction direction = Direction::kInformational;
+  bool compared = false;  ///< both sides present, finite, nonzero baseline
+  bool regression = false;
+  bool improvement = false;
+};
+
+struct TrendDiff {
+  std::vector<MetricDelta> deltas;  ///< key order (deterministic)
+  int compared = 0;
+  int regressions = 0;
+  int improvements = 0;
+
+  [[nodiscard]] bool has_regression() const { return regressions > 0; }
+};
+
+/// Compares `after` against the `before` baseline. A directional metric
+/// regresses when it moves against its direction by more than `tolerance`
+/// (relative, e.g. 0.1 == 10%). Metrics present on only one side are
+/// reported uncompared. Per-metric overrides in `tolerance_overrides`
+/// (exact key match) replace the global tolerance.
+[[nodiscard]] TrendDiff diff_trends(
+    const TrendEntry& before, const TrendEntry& after, double tolerance,
+    const std::map<std::string, double>& tolerance_overrides = {});
+
+/// Human-readable table of a diff: one row per compared metric, verdict
+/// column, summary line.
+[[nodiscard]] std::string render_trend_diff(const TrendDiff& diff,
+                                            double tolerance);
+
+}  // namespace nucon::prof

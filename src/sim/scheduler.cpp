@@ -1,9 +1,11 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <stdexcept>
 
+#include "prof/profiler.hpp"
 #include "trace/trace_recorder.hpp"
 #include "util/rng.hpp"
 
@@ -113,6 +115,19 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
   std::vector<std::uint64_t> last_state_hash(static_cast<std::size_t>(n), 0);
 #endif
 
+#ifndef NUCON_DISABLE_PROFILING
+  // Collectors may be reused across runs (the n-scaling bench accumulates
+  // per grid row), so the deterministic fold at the end charges only the
+  // calls THIS run added.
+  std::array<std::int64_t, prof::kPhaseCount> prof_calls_before{};
+  if (opts.profile != nullptr) {
+    for (int i = 0; i < prof::kPhaseCount; ++i) {
+      prof_calls_before[static_cast<std::size_t>(i)] =
+          opts.profile->phase(static_cast<prof::Phase>(i)).calls;
+    }
+  }
+#endif
+
   Rng rng(opts.seed);
   MessageBuffer buffer;
   std::vector<std::uint64_t> send_seq(static_cast<std::size_t>(n), 0);
@@ -127,6 +142,10 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
   std::int64_t round_index = 0;
   std::vector<Pid> order;
   std::vector<Outgoing> sends;
+
+  // Lap-based step timer: null collector = one predictable branch per
+  // phase boundary; NUCON_DISABLE_PROFILING = no probe code at all.
+  prof::StepProbe probe(opts.profile);
 
   while (steps_taken < opts.max_steps) {
     // One macro round: every process that is alive when its turn comes
@@ -148,6 +167,7 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
       anyone_stepped = true;
       if (timed && round_index % opts.timing.speed_of(p) != 0) continue;
 
+      probe.begin();
       std::optional<Delivery> delivery;
       bool injected = false;
       if (opts.inject_delivery) {
@@ -169,8 +189,10 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
       }
       std::optional<Message> msg;
       if (delivery) msg = buffer.take(p, delivery->index);
+      probe.lap(prof::Phase::kDeliveryChoice);
 
       const FdValue d = oracle.value(p, now);
+      probe.lap(prof::Phase::kOracleSample);
 
       StepRecord rec;
       rec.p = p;
@@ -191,6 +213,7 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
       } else {
         ++m_lambda;
       }
+      probe.lap(prof::Phase::kTraceHook);
 
       sends.clear();
       if (msg) {
@@ -199,6 +222,7 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
       } else {
         result.automata[static_cast<std::size_t>(p)]->step(nullptr, d, sends);
       }
+      probe.lap(prof::Phase::kAutomatonStep);
 
       for (Outgoing& o : sends) {
         assert(o.to >= 0 && o.to < n);
@@ -216,6 +240,7 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
         NUCON_TRACE(opts.trace, on_send(p, m));
         buffer.add(std::move(m));
       }
+      probe.lap(prof::Phase::kPayloadEncode);
 
 #ifndef NUCON_DISABLE_TRACING
       if (hash_states) {
@@ -242,6 +267,10 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
       }
 
       if (opts.on_step) opts.on_step(rec, result.automata);
+      // State hashing, decide detection and the observer are bookkeeping
+      // like the earlier record/trace block: charged to the same phase.
+      probe.lap(prof::Phase::kTraceHook);
+      probe.finish();
 
       if (++steps_taken >= opts.max_steps) break;
     }
@@ -261,6 +290,24 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
   metrics.counter("scheduler.end_time") = now;
   metrics.counter("scheduler.undelivered_at_end") =
       static_cast<std::int64_t>(result.undelivered_at_end);
+
+#ifndef NUCON_DISABLE_PROFILING
+  // Deterministic side of the profile: per-phase call counts are a pure
+  // function of the run, so they join the registry (and thus the sweep
+  // fold) as `prof.<phase>.calls`. Registered only when a collector is
+  // attached — unprofiled runs keep byte-identical metrics. Tick timings
+  // stay in the collector; they are wall-clock and belong to the
+  // include_timings side of reports.
+  if (opts.profile != nullptr) {
+    for (int i = 0; i < prof::kPhaseCount; ++i) {
+      const auto ph = static_cast<prof::Phase>(i);
+      metrics.counter(std::string("prof.") + prof::phase_name(ph) +
+                      ".calls") +=
+          opts.profile->phase(ph).calls -
+          prof_calls_before[static_cast<std::size_t>(i)];
+    }
+  }
+#endif
   return result;
 }
 

@@ -20,6 +20,10 @@ namespace nucon::trace {
 class TraceRecorder;
 }  // namespace nucon::trace
 
+namespace nucon::prof {
+class ProfileCollector;
+}  // namespace nucon::prof
+
 namespace nucon {
 
 /// Return values for SchedulerOptions::inject_delivery (below).
@@ -97,6 +101,16 @@ struct SchedulerOptions {
   /// null costs one pointer test per hook site (and nothing at all when the
   /// library is built with NUCON_DISABLE_TRACING).
   trace::TraceRecorder* trace = nullptr;
+
+  /// Optional hot-path profile collector (prof/profiler.hpp). When set,
+  /// every step's phases — delivery choice, oracle sample, trace hook,
+  /// automaton step, payload encode — are rdtsc-timed into it, and the
+  /// per-phase call counts accumulated *during this run* are folded into
+  /// SimResult::metrics as deterministic `prof.<phase>.calls` counters
+  /// (lazily registered, so unprofiled runs keep byte-identical metrics).
+  /// Null costs one pointer test per phase boundary; under
+  /// NUCON_DISABLE_PROFILING the probes vanish from the binary entirely.
+  prof::ProfileCollector* profile = nullptr;
 };
 
 struct SimResult {

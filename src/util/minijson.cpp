@@ -1,0 +1,235 @@
+#include "util/minijson.hpp"
+
+#include <cstdlib>
+
+namespace nucon::util {
+namespace {
+
+struct Parser {
+  const char* s;
+  const char* begin;
+  const char* end;
+  JsonParseError* error;
+
+  [[nodiscard]] std::size_t line_of(const char* at) const {
+    std::size_t line = 1;
+    for (const char* p = begin; p < at; ++p) {
+      if (*p == '\n') ++line;
+    }
+    return line;
+  }
+
+  bool fail(const std::string& msg) {
+    if (error != nullptr && error->message.empty()) {
+      error->message = msg;
+      error->line = line_of(s);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (s < end && (*s == ' ' || *s == '\t' || *s == '\n' || *s == '\r')) {
+      ++s;
+    }
+  }
+
+  bool parse_value(JsonValue& out);
+
+  bool parse_string(std::string& out) {
+    if (s >= end || *s != '"') return fail("expected string");
+    ++s;
+    out.clear();
+    while (s < end && *s != '"') {
+      if (*s == '\\') {
+        ++s;
+        if (s >= end) break;
+        switch (*s) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            // The emitters only escape control bytes (< 0x20); decode the
+            // low byte and ignore the (always-zero) high byte.
+            if (end - s < 5) return fail("truncated \\u escape");
+            char hex[5] = {s[1], s[2], s[3], s[4], 0};
+            char* hex_end = nullptr;
+            const long code = std::strtol(hex, &hex_end, 16);
+            if (hex_end != hex + 4) return fail("bad \\u escape");
+            out += static_cast<char>(code & 0xff);
+            s += 4;
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+        ++s;
+        continue;
+      }
+      out += *s;
+      ++s;
+    }
+    if (s >= end) return fail("unterminated string");
+    ++s;  // closing quote
+    return true;
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++s;  // '{'
+    skip_ws();
+    if (s < end && *s == '}') {
+      ++s;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (s >= end || *s != ':') return fail("expected ':' in object");
+      ++s;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (s < end && *s == ',') {
+        ++s;
+        continue;
+      }
+      if (s < end && *s == '}') {
+        ++s;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++s;  // '['
+    skip_ws();
+    if (s < end && *s == ']') {
+      ++s;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (s < end && *s == ',') {
+        ++s;
+        continue;
+      }
+      if (s < end && *s == ']') {
+        ++s;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+};
+
+bool Parser::parse_value(JsonValue& out) {
+  skip_ws();
+  if (s >= end) return fail("unexpected end of document");
+  switch (*s) {
+    case '{':
+      return parse_object(out);
+    case '[':
+      return parse_array(out);
+    case '"':
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.string);
+    case 't':
+      if (end - s >= 4 && std::string(s, 4) == "true") {
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        s += 4;
+        return true;
+      }
+      return fail("bad literal");
+    case 'f':
+      if (end - s >= 5 && std::string(s, 5) == "false") {
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        s += 5;
+        return true;
+      }
+      return fail("bad literal");
+    case 'n':
+      if (end - s >= 4 && std::string(s, 4) == "null") {
+        out.kind = JsonValue::Kind::kNull;
+        s += 4;
+        return true;
+      }
+      return fail("bad literal");
+    default: {
+      char* num_end = nullptr;
+      const double v = std::strtod(s, &num_end);
+      if (num_end == s) return fail("unexpected character");
+      out.kind = JsonValue::Kind::kNumber;
+      out.number = v;
+      s = num_end;
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<double> JsonValue::number_at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || !v->is_number()) return std::nullopt;
+  return v->number;
+}
+
+std::optional<std::string> JsonValue::string_at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || !v->is_string()) return std::nullopt;
+  return v->string;
+}
+
+std::optional<JsonValue> parse_json(const std::string& text,
+                                    JsonParseError* error) {
+  Parser p{text.data(), text.data(), text.data() + text.size(), error};
+  JsonValue out;
+  if (!p.parse_value(out)) return std::nullopt;
+  p.skip_ws();
+  if (p.s != p.end) {
+    p.fail("trailing bytes after the JSON document");
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace nucon::util

@@ -1,0 +1,72 @@
+// A minimal JSON document parser (parse-only, no emitter).
+//
+// The report layer (obs/report.cpp) emits JSON by hand and validates it
+// with a skipping scanner; the trend engine (prof/trend.cpp) and the
+// nucon_bench CLI additionally need to *read values back* out of emitted
+// BENCH_*.json documents and bench/history ledger lines. This is the
+// smallest DOM that serves them: objects keep insertion order (the
+// emitters write deterministically ordered documents and the trend tables
+// preserve that order), numbers are doubles (every numeric field the
+// reports emit round-trips through %.17g), errors carry the 1-based line
+// number of the offending byte so the CLIs can print the same
+// "line N: message" diagnostics as trace_reader's ParseError.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nucon::util {
+
+struct JsonValue;
+
+/// Insertion-ordered object entries; lookups are linear (documents here
+/// are small: a handful of keys per object).
+using JsonMembers = std::vector<std::pair<std::string, JsonValue>>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  JsonMembers members;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup on an object (nullptr when absent or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Convenience accessors returning nullopt on kind mismatch / absence.
+  [[nodiscard]] std::optional<double> number_at(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> string_at(
+      const std::string& key) const;
+};
+
+/// Parse failure: message plus the 1-based line of the offending byte
+/// (mirrors trace::ParseError so the CLIs print uniform diagnostics).
+struct JsonParseError {
+  std::string message;
+  std::size_t line = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    return line == 0 ? message
+                     : "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed, trailing
+/// bytes rejected). Returns nullopt on failure; `error`, when non-null,
+/// receives the diagnostic.
+[[nodiscard]] std::optional<JsonValue> parse_json(const std::string& text,
+                                                  JsonParseError* error);
+
+}  // namespace nucon::util

@@ -1,0 +1,126 @@
+// MetricsRegistry rendering and Histogram merge edge cases.
+//
+// The sweep fold and the new profiling layer both lean on merge being a
+// plain bucket-wise sum with exact min/max/count bookkeeping, and
+// trace_dump --metrics prints registries through to_string — so the edge
+// cases (empty sides, bucket-boundary values, disjoint key sets) get
+// their own pins here.
+#include <gtest/gtest.h>
+
+#include "trace/metrics.hpp"
+
+namespace nucon::trace {
+namespace {
+
+TEST(Histogram, MergeWithEmptySidesIsIdentity) {
+  Histogram a;
+  a.add(4);
+  a.add(100);
+  const Histogram before = a;
+
+  Histogram empty;
+  a.merge(empty);  // empty right side: no change
+  EXPECT_EQ(a, before);
+
+  Histogram b;
+  b.merge(a);  // empty left side: adopts a wholesale, min/max included
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_EQ(b.min(), 4);
+  EXPECT_EQ(b.max(), 100);
+  EXPECT_EQ(b.sum(), 104);
+
+  Histogram c;
+  c.merge(Histogram{});  // both empty
+  EXPECT_EQ(c.count(), 0);
+  EXPECT_EQ(c.min(), 0);
+  EXPECT_EQ(c.max(), 0);
+  EXPECT_DOUBLE_EQ(c.mean(), 0.0);
+}
+
+TEST(Histogram, BucketBoundaryValuesStayExactThroughMerge) {
+  // Powers of two sit on bucket edges; non-positive values share bucket 0.
+  Histogram a;
+  a.add(0);
+  a.add(1);
+  a.add(2);
+  Histogram b;
+  b.add(4);
+  b.add(8);
+  b.add(1024);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 6);
+  EXPECT_EQ(a.sum(), 0 + 1 + 2 + 4 + 8 + 1024);
+  EXPECT_EQ(a.min(), 0);
+  EXPECT_EQ(a.max(), 1024);
+  // Quantiles stay within the observed range even at the extremes.
+  EXPECT_EQ(a.quantile(0.0), 0);
+  EXPECT_EQ(a.quantile(1.0), 1024);
+  EXPECT_LE(a.quantile(0.5), 1024);
+
+  // Merging in either order yields the same histogram (bucket-wise sums
+  // commute) — the property the parallel sweep fold relies on.
+  Histogram left;
+  left.add(0);
+  left.add(1);
+  left.add(2);
+  Histogram right;
+  right.add(4);
+  right.add(8);
+  right.add(1024);
+  right.merge(left);
+  EXPECT_EQ(a, right);
+}
+
+TEST(Histogram, NegativeValuesLandInBucketZero) {
+  Histogram h;
+  h.add(-5);
+  h.add(3);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.min(), -5);
+  EXPECT_EQ(h.max(), 3);
+  EXPECT_EQ(h.sum(), -2);
+}
+
+TEST(MetricsRegistry, MergeUnionsDisjointKeySets) {
+  MetricsRegistry a;
+  a.counter("only.in.a") = 3;
+  a.counter("shared") = 10;
+  a.histogram("hist.a").add(7);
+
+  MetricsRegistry b;
+  b.counter("only.in.b") = 5;
+  b.counter("shared") = 1;
+  b.histogram("hist.b").add(9);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("only.in.a"), 3);
+  EXPECT_EQ(a.counter_value("only.in.b"), 5);
+  EXPECT_EQ(a.counter_value("shared"), 11);
+  EXPECT_EQ(a.histograms().size(), 2u);
+  EXPECT_EQ(a.histogram("hist.a").count(), 1);
+  EXPECT_EQ(a.histogram("hist.b").count(), 1);
+  // Untouched names read as zero without being created.
+  EXPECT_EQ(a.counter_value("never.touched"), 0);
+}
+
+TEST(MetricsRegistry, ToStringRendersCountersThenHistograms) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.to_string(), "");  // empty registry renders as nothing
+
+  m.counter("scheduler.steps") = 42;
+  m.counter("scheduler.decides") = 4;
+  m.histogram("scheduler.delivery_delay").add(3);
+  m.histogram("scheduler.delivery_delay").add(5);
+  const std::string s = m.to_string();
+  // Counters are one `name = value` line each, lexicographic order.
+  EXPECT_NE(s.find("scheduler.decides = 4\n"), std::string::npos);
+  EXPECT_NE(s.find("scheduler.steps = 42\n"), std::string::npos);
+  EXPECT_LT(s.find("scheduler.decides"), s.find("scheduler.steps"));
+  // Histogram lines carry the summary stats.
+  EXPECT_NE(s.find("scheduler.delivery_delay: count=2 mean=4"),
+            std::string::npos);
+  EXPECT_NE(s.find("min=3 max=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nucon::trace

@@ -12,6 +12,8 @@
 // Flags:
 //   --full          dump every event chronologically after the summary
 //   --process P     restrict --full to events of process P
+//   --metrics       reconstruct the run's MetricsRegistry from the events
+//                   (scheduler.* counters and histograms) and print it
 //   --diff A B      compare two traces: report the first divergent event
 //                   with the causal context of each side
 #include <cstdio>
@@ -24,6 +26,7 @@
 #include <vector>
 
 #include "obs/trace_diff.hpp"
+#include "trace/metrics.hpp"
 #include "trace/trace_reader.hpp"
 
 using namespace nucon;
@@ -32,10 +35,42 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--full] [--process P] <trace.jsonl>\n"
+               "usage: %s [--full] [--process P] [--metrics] <trace.jsonl>\n"
                "       %s --diff <a.jsonl> <b.jsonl>\n",
                argv0, argv0);
   return 2;
+}
+
+/// Rebuilds the deterministic run metrics the scheduler would have
+/// registered, from the recorded events alone. Only the event-sourced
+/// subset is recoverable (end_time and undelivered_at_end are not
+/// recorded per event), so names match scheduler.* where they overlap.
+trace::MetricsRegistry metrics_of(const trace::ParsedTrace& trace) {
+  trace::MetricsRegistry m;
+  std::int64_t& steps = m.counter("scheduler.steps");
+  std::int64_t& lambda = m.counter("scheduler.lambda_steps");
+  std::int64_t& delivers = m.counter("scheduler.delivers");
+  std::int64_t& forced = m.counter("scheduler.forced_deliveries");
+  std::int64_t& sends = m.counter("scheduler.sends");
+  std::int64_t& decides = m.counter("scheduler.decides");
+  trace::Histogram& delay = m.histogram("scheduler.delivery_delay");
+  trace::Histogram& payload = m.histogram("scheduler.payload_bytes");
+  for (const trace::ParsedEvent& ev : trace.events) {
+    if (ev.kind == "step") {
+      ++steps;
+      if (ev.peer < 0) ++lambda;
+    } else if (ev.kind == "deliver") {
+      ++delivers;
+      forced += ev.forced;
+      delay.add(ev.delay);
+    } else if (ev.kind == "send") {
+      ++sends;
+      payload.add(ev.bytes);
+    } else if (ev.kind == "decide") {
+      ++decides;
+    }
+  }
+  return m;
 }
 
 /// Reads and parses one trace, or prints a one-line diagnostic and returns
@@ -156,11 +191,14 @@ void print_divergence(const char* label, const trace::Divergence& d) {
 
 int main(int argc, char** argv) {
   bool full = false;
+  bool metrics = false;
   Pid only_process = -1;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) {
       full = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
     } else if (std::strcmp(argv[i], "--process") == 0 && i + 1 < argc) {
       only_process = static_cast<Pid>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--diff") == 0 && i + 2 < argc) {
@@ -248,6 +286,11 @@ int main(int argc, char** argv) {
     std::printf(
         "NOTE: only uniform agreement diverged (a faulty decider is "
         "involved); nonuniform consensus permits this.\n");
+  }
+
+  if (metrics) {
+    std::printf("\nmetrics (reconstructed from events):\n%s",
+                metrics_of(*trace).to_string().c_str());
   }
 
   if (full) {
