@@ -4,8 +4,9 @@
 # Builds and runs bench_hotpath with NUCON_HOTPATH_QUICK=1 (small seed
 # counts and step budgets), emitting build/BENCH_hotpath.json: steps/sec
 # and delivers/sec per registry algorithm, bytes-copied-per-broadcast for
-# the shared-payload regression check, and the sweep-engine throughput
-# section. Then runs bench_model with NUCON_MODEL_QUICK=1, emitting
+# the shared-payload regression check, the sweep-engine throughput
+# section, and the H4 wide-set scaling rows (quick mode keeps the n=64
+# row so the ledger always carries one beyond-H3 scaling point). Then runs bench_model with NUCON_MODEL_QUICK=1, emitting
 # build/BENCH_model.json: the incremental model-checking engine vs the
 # frozen replay-based DFS baseline on the depth-8 slice of the n=3
 # reference space, with the determinism cross-checks (the full depth-12

@@ -5,15 +5,18 @@
 # carry one configure step, so the matrix lives here:
 #
 #   check-default   configure + build + the whole ctest suite (RelWithDebInfo)
-#   check-asan      configure + build + sweep/obs/mc/fuzz/fdqos/prof-labeled ctest under ASan/UBSan
-#   check-tsan      configure + build + sweep/obs/mc/fuzz/fdqos/prof-labeled ctest under TSan
+#   check-asan      configure + build + sweep/obs/mc/fuzz/fdqos/prof/scale-labeled ctest under ASan/UBSan
+#   check-tsan      configure + build + sweep/obs/mc/fuzz/fdqos/prof/scale-labeled ctest under TSan
 #
 # (the mc label covers the model checker's parallel-frontier determinism
 # suite, fuzz covers the schedule fuzzer's engine/minimizer/corpus
 # suites, fdqos covers the timing-aware scheduler mode plus the
-# heartbeat-implemented detectors, and prof covers the hot-path profiling
-# probes and the trend/regression engine — all worth re-running under the
-# sanitizers), then runs the
+# heartbeat-implemented detectors, prof covers the hot-path profiling
+# probes and the trend/regression engine, and scale covers the wide
+# ProcessSet boundaries plus the incremental QuorumHistory equivalence
+# oracle — all worth re-running under the sanitizers, the scale suite
+# especially because the heap-spilled set words are fresh allocator
+# traffic), then runs the
 # quick throughput baselines plus the 10s fuzz smoke campaign
 # (scripts/bench-quick.sh) so a perf regression in the simulation core or
 # a lost rediscovery in the fuzzer shows up in the same pass, and finally

@@ -51,6 +51,7 @@ void BenOr::on_message(Pid from, const Bytes& payload) {
   if (!tag || !round || !v || !r.done()) return;
   if (*v != 0 && *v != 1 && *v != kQuestion) return;
   RoundMsgs& msgs = inbox_[static_cast<int>(*round)];
+  msgs.ensure(n_);
   if (*tag == kTagReport && *v != kQuestion) {
     msgs.report[from] = *v;
   } else if (*tag == kTagProposal) {
@@ -61,6 +62,7 @@ void BenOr::on_message(Pid from, const Bytes& payload) {
 void BenOr::advance(std::vector<Outgoing>& out) {
   while (true) {
     RoundMsgs& msgs = inbox_[round_];
+    msgs.ensure(n_);
 
     if (phase_ == Phase::kAwaitReports) {
       int received = 0;
@@ -134,10 +136,11 @@ bool BenOr::save_state(ByteWriter& w) const {
   coin_.save(w);
   w.svarint(coin_flips_);
   w.uvarint(inbox_.size());
-  const auto slot = [&w, this](const std::optional<Value> (&arr)[kMaxProcesses]) {
+  const auto slot = [&w, this](const std::vector<std::optional<Value>>& arr) {
     for (Pid q = 0; q < n_; ++q) {
-      w.u8(arr[q].has_value());
-      if (arr[q]) w.svarint(*arr[q]);
+      const bool has = !arr.empty() && arr[q].has_value();
+      w.u8(has);
+      if (has) w.svarint(*arr[q]);
     }
   };
   for (const auto& [round, msgs] : inbox_) {
@@ -170,7 +173,7 @@ bool BenOr::restore_state(ByteReader& r) {
   if (!coin_flips || !rounds) return false;
 
   std::map<int, RoundMsgs> inbox;
-  const auto slot = [&r, this](std::optional<Value> (&arr)[kMaxProcesses]) {
+  const auto slot = [&r, this](std::vector<std::optional<Value>>& arr) {
     for (Pid q = 0; q < n_; ++q) {
       const auto has = r.u8();
       if (!has) return false;
@@ -186,6 +189,7 @@ bool BenOr::restore_state(ByteReader& r) {
     const auto key = r.uvarint();
     if (!key) return false;
     RoundMsgs& msgs = inbox[static_cast<int>(*key)];
+    msgs.ensure(n_);
     if (!slot(msgs.report) || !slot(msgs.proposal)) return false;
   }
 

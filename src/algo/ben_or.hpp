@@ -53,9 +53,17 @@ class BenOr final : public ConsensusAutomaton {
 
   static constexpr Value kQuestion = -1;
 
+  /// Slots sized n on first touch (a fixed kMaxProcesses array would cost
+  /// ~30KB per buffered round at the 1024-process cap).
   struct RoundMsgs {
-    std::optional<Value> report[kMaxProcesses];
-    std::optional<Value> proposal[kMaxProcesses];
+    std::vector<std::optional<Value>> report;
+    std::vector<std::optional<Value>> proposal;
+    void ensure(Pid n) {
+      if (report.empty()) {
+        report.resize(static_cast<std::size_t>(n));
+        proposal.resize(static_cast<std::size_t>(n));
+      }
+    }
   };
 
   void on_message(Pid from, const Bytes& payload);

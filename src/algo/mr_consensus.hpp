@@ -68,10 +68,19 @@ class MrConsensus final : public ConsensusAutomaton {
   /// Sentinel for the special proposal value "?".
   static constexpr Value kQuestion = INT64_MIN;
 
+  /// Slots sized n on first touch (a fixed kMaxProcesses array would cost
+  /// ~50KB per buffered round at the 1024-process cap).
   struct RoundMsgs {
-    std::optional<Value> lead[kMaxProcesses];
-    std::optional<Value> rep[kMaxProcesses];
-    std::optional<Value> prop[kMaxProcesses];
+    std::vector<std::optional<Value>> lead;
+    std::vector<std::optional<Value>> rep;
+    std::vector<std::optional<Value>> prop;
+    void ensure(Pid n) {
+      if (lead.empty()) {
+        lead.resize(static_cast<std::size_t>(n));
+        rep.resize(static_cast<std::size_t>(n));
+        prop.resize(static_cast<std::size_t>(n));
+      }
+    }
   };
 
   void start_round(std::vector<Outgoing>& out);
@@ -81,7 +90,7 @@ class MrConsensus final : public ConsensusAutomaton {
   /// True when every member of the FD quorum `q` has a stored message in
   /// `slot` for the current round.
   [[nodiscard]] bool quorum_complete(
-      const std::optional<Value> (&slot)[kMaxProcesses], ProcessSet q) const;
+      const std::vector<std::optional<Value>>& slot, const ProcessSet& q) const;
 
   /// Seals (tag, round, v) into scratch_ and returns one shareable buffer.
   [[nodiscard]] SharedBytes encode(std::uint8_t tag, int round, Value v);

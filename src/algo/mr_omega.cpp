@@ -32,6 +32,7 @@ void MrConsensus::on_message(Pid from, const Bytes& payload) {
   const auto v = r.svarint();
   if (!tag || !round || !v || !r.done()) return;  // drop malformed input
   RoundMsgs& msgs = inbox_[static_cast<int>(*round)];
+  msgs.ensure(opts_.n);
   switch (*tag) {
     case kTagLead:
       msgs.lead[from] = *v;
@@ -48,7 +49,7 @@ void MrConsensus::on_message(Pid from, const Bytes& payload) {
 }
 
 bool MrConsensus::quorum_complete(
-    const std::optional<Value> (&slot)[kMaxProcesses], ProcessSet q) const {
+    const std::vector<std::optional<Value>>& slot, const ProcessSet& q) const {
   if (q.empty()) return false;
   for (Pid member : q) {
     if (!slot[member]) return false;
@@ -77,6 +78,7 @@ void MrConsensus::advance(const FdValue& d, std::vector<Outgoing>& out) {
 
   while (true) {
     RoundMsgs& msgs = inbox_[round_];
+    msgs.ensure(opts_.n);
 
     if (phase_ == Phase::kAwaitLead) {
       if (!d.has_leader()) return;
@@ -172,10 +174,11 @@ bool MrConsensus::save_state(ByteWriter& w) const {
   if (decided_) w.svarint(*decided_);
   w.uvarint(static_cast<std::uint64_t>(decided_round_));
   w.uvarint(inbox_.size());
-  const auto slot = [&w, this](const std::optional<Value> (&arr)[kMaxProcesses]) {
+  const auto slot = [&w, this](const std::vector<std::optional<Value>>& arr) {
     for (Pid q = 0; q < opts_.n; ++q) {
-      w.u8(arr[q].has_value());
-      if (arr[q]) w.svarint(*arr[q]);
+      const bool has = !arr.empty() && arr[q].has_value();
+      w.u8(has);
+      if (has) w.svarint(*arr[q]);
     }
   };
   for (const auto& [round, msgs] : inbox_) {
@@ -204,7 +207,7 @@ bool MrConsensus::restore_state(ByteReader& r) {
   if (!decided_round || !rounds) return false;
 
   std::map<int, RoundMsgs> inbox;
-  const auto slot = [&r, this](std::optional<Value> (&arr)[kMaxProcesses]) {
+  const auto slot = [&r, this](std::vector<std::optional<Value>>& arr) {
     for (Pid q = 0; q < opts_.n; ++q) {
       const auto has = r.u8();
       if (!has) return false;
@@ -220,6 +223,7 @@ bool MrConsensus::restore_state(ByteReader& r) {
     const auto key = r.uvarint();
     if (!key) return false;
     RoundMsgs& msgs = inbox[static_cast<int>(*key)];
+    msgs.ensure(opts_.n);
     if (!slot(msgs.lead) || !slot(msgs.rep) || !slot(msgs.prop)) return false;
   }
 

@@ -1,6 +1,8 @@
 #include "core/anuc.hpp"
 
 #include <cassert>
+#include <deque>
+#include <unordered_map>
 
 namespace nucon {
 namespace {
@@ -10,6 +12,82 @@ constexpr std::uint8_t kTagRep = 2;
 constexpr std::uint8_t kTagProp = 3;
 constexpr std::uint8_t kTagSaw = 4;
 constexpr std::uint8_t kTagAck = 5;
+
+/// Memoized LEAD/PROP payload parse. A broadcast seals one payload buffer
+/// and hands every receiver a refcount share, so the n receivers used to
+/// parse identical bytes n times — with histories growing over a run that
+/// was the dominant per-step cost at scale. The memo is keyed by buffer
+/// identity (the sealed Bytes address): each entry pins the buffer alive
+/// via SharedBytes::ref(), so a key can never be reused by a different
+/// payload while its entry exists, making a hit exact by construction (no
+/// hashing of content, no collision risk). Thread-local because payloads
+/// never cross threads (one sweep job runs wholly on one worker thread).
+///
+/// `h == nullptr` caches "malformed": same bytes, same verdict.
+struct ParsedLeadProp {
+  std::uint64_t round = 0;
+  Value v = 0;
+  std::shared_ptr<const QuorumHistory> h;
+};
+
+class LeadPropMemo {
+ public:
+  /// Returns the parse of `payload` (tag already consumed by the caller),
+  /// reusing a previous receiver's parse of the same sealed buffer when
+  /// `shared` identifies one.
+  const ParsedLeadProp& parse(const Bytes& payload, const SharedBytes* shared) {
+    if (shared == nullptr || shared->raw() == nullptr) {
+      scratch_ = parse_fresh(payload);
+      return scratch_;
+    }
+    const Bytes* key = shared->raw();
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) return it->second.parsed;
+    if (fifo_.size() >= kCapacity) {
+      entries_.erase(fifo_.front());
+      fifo_.pop_front();
+    }
+    Entry e;
+    e.keepalive = shared->ref();
+    e.parsed = parse_fresh(payload);
+    fifo_.push_back(key);
+    return entries_.emplace(key, std::move(e)).first->second.parsed;
+  }
+
+ private:
+  /// Bounds memory: entries only matter while a broadcast's shares are
+  /// still being delivered, a window of a couple of algorithm rounds.
+  static constexpr std::size_t kCapacity = 4096;
+
+  struct Entry {
+    std::shared_ptr<const Bytes> keepalive;
+    ParsedLeadProp parsed;
+  };
+
+  static ParsedLeadProp parse_fresh(const Bytes& payload) {
+    ByteReader r(payload);
+    (void)r.u8();  // tag, validated by the caller
+    ParsedLeadProp p;
+    const auto round = r.uvarint();
+    const auto v = r.svarint();
+    if (!round || !v) return p;
+    auto h = QuorumHistory::decode(r);
+    if (!h || !r.done()) return p;
+    p.round = *round;
+    p.v = *v;
+    p.h = std::make_shared<const QuorumHistory>(std::move(*h));
+    return p;
+  }
+
+  std::unordered_map<const Bytes*, Entry> entries_;
+  std::deque<const Bytes*> fifo_;
+  ParsedLeadProp scratch_;
+};
+
+LeadPropMemo& lead_prop_memo() {
+  thread_local LeadPropMemo memo;
+  return memo;
+}
 
 }  // namespace
 
@@ -35,7 +113,7 @@ bool Anuc::distrusts(Pid q) {
 
 void Anuc::step(const Incoming* in, const FdValue& d,
                 std::vector<Outgoing>& out) {
-  if (in != nullptr) on_message(in->from, *in->payload, out);
+  if (in != nullptr) on_message(in->from, *in->payload, in->shared, out);
   if (round_ == 0) start_round(out);
   advance(d, out);
 }
@@ -53,7 +131,7 @@ void Anuc::start_round(std::vector<Outgoing>& out) {
 }
 
 void Anuc::on_message(Pid from, const Bytes& payload,
-                      std::vector<Outgoing>& out) {
+                      const SharedBytes* shared, std::vector<Outgoing>& out) {
   ByteReader r(payload);
   const auto tag = r.u8();
   if (!tag) return;
@@ -61,41 +139,44 @@ void Anuc::on_message(Pid from, const Bytes& payload,
   switch (*tag) {
     case kTagLead:
     case kTagProp: {
-      const auto round = r.uvarint();
-      const auto v = r.svarint();
-      auto h = QuorumHistory::decode(r);
-      if (!round || !v || !h || h->n() != n_ || !r.done()) return;
-      RoundMsgs& msgs = inbox_[static_cast<int>(*round)];
+      // One decode per sealed broadcast buffer, shared across receivers;
+      // p.h null covers every malformed case the inline parse rejected.
+      const ParsedLeadProp& p = lead_prop_memo().parse(payload, shared);
+      if (!p.h || p.h->n() != n_) return;
+      RoundMsgs& msgs = inbox_[static_cast<int>(p.round)];
+      msgs.ensure(n_);
       auto& slot = (*tag == kTagLead) ? msgs.lead[from] : msgs.prop[from];
-      slot = HistoryMsg{*v, std::move(*h)};
+      slot = HistoryMsg{p.v, p.h};
       break;
     }
     case kTagRep: {
       const auto round = r.uvarint();
       const auto v = r.svarint();
       if (!round || !v || !r.done()) return;
-      inbox_[static_cast<int>(*round)].rep[from] = *v;
+      RoundMsgs& msgs = inbox_[static_cast<int>(*round)];
+      msgs.ensure(n_);
+      msgs.rep[from] = *v;
       break;
     }
     case kTagSaw: {
       // Fig. 4 lines 35-37: record the sender's quorum, acknowledge with
       // our current round number.
-      const auto quorum = r.process_set();
+      const auto quorum = r.process_set(n_);
       if (!quorum || !r.done()) return;
       history_.insert(from, *quorum);
       scratch_.reset();
       scratch_.u8(kTagAck);
-      scratch_.process_set(*quorum);
+      scratch_.process_set(*quorum, n_);
       scratch_.uvarint(static_cast<std::uint64_t>(round_));
       out.push_back({from, SharedBytes(scratch_.buffer())});
       break;
     }
     case kTagAck: {
       // Fig. 4 lines 39-42.
-      const auto quorum = r.process_set();
+      const auto quorum = r.process_set(n_);
       const auto round = r.uvarint();
       if (!quorum || !round || !r.done()) return;
-      SawState& state = saw_[quorum->mask()];
+      SawState& state = saw_[*quorum];
       state.acks.insert(from);
       state.max_ack_round =
           std::max(state.max_ack_round, static_cast<int>(*round));
@@ -112,6 +193,7 @@ void Anuc::advance(const FdValue& d, std::vector<Outgoing>& out) {
   // conditions already hold; each loop pass makes at most one transition.
   while (true) {
     RoundMsgs& msgs = inbox_[round_];
+    msgs.ensure(n_);
 
     if (phase_ == Phase::kAwaitLead) {
       // Fig. 4 lines 16-19.
@@ -119,7 +201,7 @@ void Anuc::advance(const FdValue& d, std::vector<Outgoing>& out) {
       const Pid leader = d.leader();
       auto& lead = msgs.lead[leader];
       if (!lead) return;
-      history_.import(lead->h);  // line 17, before the distrust check
+      history_.import(*lead->h);  // line 17, before the distrust check
       if (!distrusts(leader)) x_ = lead->v;
       scratch_.reset();
       scratch_.u8(kTagRep);
@@ -161,7 +243,14 @@ void Anuc::advance(const FdValue& d, std::vector<Outgoing>& out) {
     for (Pid member : q) complete = complete && msgs.prop[member].has_value();
     if (!complete) return;
 
-    for (Pid member : q) history_.import(msgs.prop[member]->h);  // line 27
+    // Line 27. import is a pointwise union, so a member already folded in
+    // on an earlier retry pass contributes nothing — skip the walk.
+    for (Pid member : q) {
+      if (!msgs.props_imported.contains(member)) {
+        msgs.props_imported.insert(member);
+        history_.import(*msgs.prop[member]->h);
+      }
+    }
 
     for (Pid member : q) {
       if (distrusts(member)) return;  // line 28 fails; retry next step
@@ -183,7 +272,7 @@ void Anuc::advance(const FdValue& d, std::vector<Outgoing>& out) {
 
     // Line 30: decide only with unanimity AND the quorum-awareness bound
     // seen[Q] < k (the latter can be ablated for the E11 experiment).
-    const SawState& state = saw_[q.mask()];
+    const SawState& state = saw_[q];
     const bool aware = !options_.use_quorum_awareness ||
                        (state.seen && *state.seen < round_);
     if (all_v && seen_v && aware && !decided_) {
@@ -192,12 +281,12 @@ void Anuc::advance(const FdValue& d, std::vector<Outgoing>& out) {
     }
 
     // Lines 31-33: first use of this quorum to collect proposals.
-    SawState& mutable_state = saw_[q.mask()];
+    SawState& mutable_state = saw_[q];
     if (!mutable_state.sent) {
       mutable_state.sent = true;
       scratch_.reset();
       scratch_.u8(kTagSaw);
-      scratch_.process_set(q);
+      scratch_.process_set(q, n_);
       // One sealed buffer shared across the quorum multicast.
       const SharedBytes payload(scratch_.buffer());
       for (Pid member : q) out.push_back({member, payload});
@@ -234,27 +323,28 @@ bool Anuc::save_state(ByteWriter& w) const {
   for (const auto& [round, msgs] : inbox_) {
     w.uvarint(static_cast<std::uint64_t>(round));
     const auto history_slot =
-        [&w, this](const std::optional<HistoryMsg> (&arr)[kMaxProcesses]) {
+        [&w, this](const std::vector<std::optional<HistoryMsg>>& arr) {
           for (Pid q = 0; q < n_; ++q) {
-            w.u8(arr[q].has_value());
-            if (arr[q]) {
+            w.u8(!arr.empty() && arr[q].has_value());
+            if (!arr.empty() && arr[q]) {
               w.svarint(arr[q]->v);
-              arr[q]->h.encode(w);
+              arr[q]->h->encode(w);
             }
           }
         };
     history_slot(msgs.lead);
     for (Pid q = 0; q < n_; ++q) {
-      w.u8(msgs.rep[q].has_value());
-      if (msgs.rep[q]) w.svarint(*msgs.rep[q]);
+      const bool has = !msgs.rep.empty() && msgs.rep[q].has_value();
+      w.u8(has);
+      if (has) w.svarint(*msgs.rep[q]);
     }
     history_slot(msgs.prop);
   }
   w.uvarint(saw_.size());
-  for (const auto& [mask, state] : saw_) {
-    w.u64(mask);
+  for (const auto& [quorum, state] : saw_) {
+    w.process_set(quorum, n_);
     w.u8(state.sent ? 1 : 0);
-    w.process_set(state.acks);
+    w.process_set(state.acks, n_);
     w.uvarint(static_cast<std::uint64_t>(state.max_ack_round));
     w.u8(state.seen.has_value());
     if (state.seen) w.uvarint(static_cast<std::uint64_t>(*state.seen));
@@ -285,7 +375,7 @@ bool Anuc::restore_state(ByteReader& r) {
   if (!rounds) return false;
   std::map<int, RoundMsgs> inbox;
   const auto history_slot =
-      [&r, this](std::optional<HistoryMsg> (&arr)[kMaxProcesses]) {
+      [&r, this](std::vector<std::optional<HistoryMsg>>& arr) {
         for (Pid q = 0; q < n_; ++q) {
           const auto has = r.u8();
           if (!has) return false;
@@ -293,7 +383,8 @@ bool Anuc::restore_state(ByteReader& r) {
             const auto v = r.svarint();
             auto h = QuorumHistory::decode(r);
             if (!v || !h || h->n() != n_) return false;
-            arr[q] = HistoryMsg{*v, std::move(*h)};
+            arr[q] = HistoryMsg{
+                *v, std::make_shared<const QuorumHistory>(std::move(*h))};
           }
         }
         return true;
@@ -302,6 +393,7 @@ bool Anuc::restore_state(ByteReader& r) {
     const auto key = r.uvarint();
     if (!key) return false;
     RoundMsgs& msgs = inbox[static_cast<int>(*key)];
+    msgs.ensure(n_);
     if (!history_slot(msgs.lead)) return false;
     for (Pid q = 0; q < n_; ++q) {
       const auto has = r.u8();
@@ -317,15 +409,15 @@ bool Anuc::restore_state(ByteReader& r) {
 
   const auto saw_count = r.uvarint();
   if (!saw_count) return false;
-  std::map<std::uint64_t, SawState> saw;
+  std::map<ProcessSet, SawState> saw;
   for (std::uint64_t i = 0; i < *saw_count; ++i) {
-    const auto mask = r.u64();
+    const auto quorum = r.process_set(n_);
     const auto sent = r.u8();
-    const auto acks = r.process_set();
+    const auto acks = r.process_set(n_);
     const auto max_ack_round = r.uvarint();
     const auto has_seen = r.u8();
-    if (!mask || !sent || !acks || !max_ack_round || !has_seen) return false;
-    SawState& state = saw[*mask];
+    if (!quorum || !sent || !acks || !max_ack_round || !has_seen) return false;
+    SawState& state = saw[*quorum];
     state.sent = *sent != 0;
     state.acks = *acks;
     state.max_ack_round = static_cast<int>(*max_ack_round);

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "core/quorum_history.hpp"
@@ -74,19 +75,37 @@ class Anuc final : public ConsensusAutomaton {
 
   static constexpr Value kQuestion = INT64_MIN;
 
+  /// The history rides immutably from decode to import, so receivers of
+  /// one broadcast share a single decoded object (see the decode memo in
+  /// anuc.cpp) instead of each parsing identical bytes.
   struct HistoryMsg {
     Value v = 0;
-    QuorumHistory h;
+    std::shared_ptr<const QuorumHistory> h;
   };
 
+  /// Slots sized n on first touch (a fixed kMaxProcesses array would cost
+  /// ~100KB per buffered round at the 1024-process cap).
   struct RoundMsgs {
-    std::optional<HistoryMsg> lead[kMaxProcesses];
-    std::optional<Value> rep[kMaxProcesses];
-    std::optional<HistoryMsg> prop[kMaxProcesses];
+    std::vector<std::optional<HistoryMsg>> lead;
+    std::vector<std::optional<Value>> rep;
+    std::vector<std::optional<HistoryMsg>> prop;
+    /// Members whose PROP history this round has already been folded into
+    /// history_. import is idempotent (pointwise union), so skipping the
+    /// re-import on every kAwaitProposals retry pass changes no state —
+    /// only the work. Deliberately not serialized: a restored automaton
+    /// re-imports once, a no-op.
+    ProcessSet props_imported;
+    void ensure(Pid n) {
+      if (lead.empty()) {
+        lead.resize(static_cast<std::size_t>(n));
+        rep.resize(static_cast<std::size_t>(n));
+        prop.resize(static_cast<std::size_t>(n));
+      }
+    }
   };
 
   /// Per-quorum SAW/ACK bookkeeping (Fig. 4 lines 7-11 and 31-42); keyed
-  /// by the quorum's bitmask. `seen` empty encodes the initial infinity.
+  /// by the quorum itself. `seen` empty encodes the initial infinity.
   struct SawState {
     bool sent = false;
     ProcessSet acks;
@@ -94,7 +113,8 @@ class Anuc final : public ConsensusAutomaton {
     std::optional<int> seen;
   };
 
-  void on_message(Pid from, const Bytes& payload, std::vector<Outgoing>& out);
+  void on_message(Pid from, const Bytes& payload, const SharedBytes* shared,
+                  std::vector<Outgoing>& out);
   void advance(const FdValue& d, std::vector<Outgoing>& out);
   void start_round(std::vector<Outgoing>& out);
 
@@ -116,7 +136,10 @@ class Anuc final : public ConsensusAutomaton {
 
   QuorumHistory history_;
   std::map<int, RoundMsgs> inbox_;
-  std::map<std::uint64_t, SawState> saw_;
+  /// ProcessSet's ordering is the numeric bitset order, so for n <= 64 this
+  /// map iterates exactly like the old mask-keyed map (save_state bytes are
+  /// unchanged).
+  std::map<ProcessSet, SawState> saw_;
 
   /// Encode scratch: reset before each message build, so steady-state
   /// encoding reuses one grown buffer instead of allocating per send.

@@ -190,12 +190,12 @@ class GossipUnionCandidate final : public Automaton, public EmulatedFd {
             std::vector<Outgoing>& out) override {
     if (in != nullptr) {
       ByteReader r(*in->payload);
-      if (const auto q = r.process_set(); q && r.done()) heard_ |= *q;
+      if (const auto q = r.process_set(n_); q && r.done()) heard_ |= *q;
     }
     if (d.has_quorum()) {
       heard_ |= d.quorum();
       ByteWriter w;
-      w.process_set(d.quorum());
+      w.process_set(d.quorum(), n_);
       broadcast(n_, w.take(), out);
     }
     if (!heard_.empty()) output_ = heard_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
+#include <utility>
 
 namespace nucon {
 
@@ -10,32 +12,159 @@ QuorumHistory::QuorumHistory(Pid n)
   assert(n >= 1 && n <= kMaxProcesses);
 }
 
-void QuorumHistory::insert(Pid q, ProcessSet quorum) {
+QuorumHistory::QuorumHistory(const QuorumHistory& other)
+    : n_(other.n_), sets_(other.sets_), generation_(other.generation_) {
+  if (other.cache_) cache_ = std::make_unique<Cache>(*other.cache_);
+}
+
+QuorumHistory& QuorumHistory::operator=(const QuorumHistory& other) {
+  if (this == &other) return *this;
+  n_ = other.n_;
+  sets_ = other.sets_;
+  generation_ = other.generation_;
+  cache_ = other.cache_ ? std::make_unique<Cache>(*other.cache_) : nullptr;
+  return *this;
+}
+
+void QuorumHistory::insert(Pid q, const ProcessSet& quorum) {
   assert(q >= 0 && q < n_);
   auto& sets = sets_[static_cast<std::size_t>(q)];
   const auto it = std::lower_bound(sets.begin(), sets.end(), quorum);
-  if (it == sets.end() || *it != quorum) sets.insert(it, quorum);
+  if (it == sets.end() || *it != quorum) {
+    sets.insert(it, quorum);
+    ++generation_;
+  }
 }
 
 void QuorumHistory::import(const QuorumHistory& other) {
   assert(other.n_ == n_);
   for (Pid q = 0; q < n_; ++q) {
-    for (ProcessSet quorum : other.of(q)) insert(q, quorum);
+    const auto& src = other.of(q);
+    if (src.empty()) continue;
+    auto& dst = sets_[static_cast<std::size_t>(q)];
+    // Both sides are sorted and deduplicated, so one two-pointer walk
+    // detects whether the import adds anything; most imports arrive after
+    // the sender's history is already a subset of ours and cost O(s + d)
+    // comparisons, no inserts and no generation bump.
+    std::size_t i = 0;
+    std::size_t missing = 0;
+    for (const ProcessSet& quorum : src) {
+      while (i < dst.size() && dst[i] < quorum) ++i;
+      if (i == dst.size() || quorum < dst[i]) ++missing;
+    }
+    if (missing == 0) continue;
+    std::vector<ProcessSet> merged;
+    merged.reserve(dst.size() + missing);
+    std::merge(dst.begin(), dst.end(), src.begin(), src.end(),
+               std::back_inserter(merged));
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    dst = std::move(merged);
+    ++generation_;
   }
 }
 
-bool QuorumHistory::knows(Pid q, ProcessSet quorum) const {
+bool QuorumHistory::knows(Pid q, const ProcessSet& quorum) const {
   assert(q >= 0 && q < n_);
   const auto& sets = sets_[static_cast<std::size_t>(q)];
   return std::binary_search(sets.begin(), sets.end(), quorum);
 }
 
+std::uint32_t QuorumHistory::intern(Cache& c, const ProcessSet& quorum) const {
+  const auto it = c.index.find(quorum);
+  if (it != c.index.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(c.entries.size());
+  Entry e;
+  e.quorum = quorum;
+  for (std::uint32_t other = 0; other < id; ++other) {
+    if (!c.entries[other].quorum.intersects(quorum)) {
+      e.disjoint_entries.push_back(other);
+      e.disjoint_owners |= c.entries[other].owners;
+      c.entries[other].disjoint_entries.push_back(id);
+    }
+  }
+  // An empty quorum is disjoint from everything, including itself: its own
+  // owners must land in its disjoint_owners when they are folded in.
+  if (quorum.empty()) e.disjoint_entries.push_back(id);
+  c.entries.push_back(std::move(e));
+  c.index.emplace(quorum, id);
+  return id;
+}
+
+QuorumHistory::Cache& QuorumHistory::cache() const {
+  if (!cache_) {
+    cache_ = std::make_unique<Cache>();
+    cache_->owned.resize(static_cast<std::size_t>(n_));
+    cache_->faulty.resize(static_cast<std::size_t>(n_));
+    cache_->synced.resize(static_cast<std::size_t>(n_), 0);
+  }
+  Cache& c = *cache_;
+  if (c.generation == generation_) return c;
+  for (Pid q = 0; q < n_; ++q) {
+    const auto& qs = sets_[static_cast<std::size_t>(q)];
+    auto& owned = c.owned[static_cast<std::size_t>(q)];
+    if (c.synced[static_cast<std::size_t>(q)] == qs.size()) continue;
+    // Merge walk: qs and owned are both sorted by quorum value, and folded
+    // quorums never disappear from qs, so every owned id finds its match
+    // and the leftovers are exactly the new quorums.
+    std::vector<std::uint32_t> merged;
+    merged.reserve(qs.size());
+    std::size_t j = 0;
+    for (const ProcessSet& quorum : qs) {
+      if (j < owned.size() && c.entries[owned[j]].quorum == quorum) {
+        merged.push_back(owned[j]);
+        ++j;
+        continue;
+      }
+      const std::uint32_t id = intern(c, quorum);
+      Entry& e = c.entries[id];
+      if (!e.owners.contains(q)) {
+        e.owners.insert(q);
+        for (const std::uint32_t d : e.disjoint_entries) {
+          Entry& de = c.entries[d];
+          de.disjoint_owners.insert(q);
+          // d's quorum gained a disjoint owner, so every owner of d now
+          // considers q faulty. The self-disjoint empty quorum works out:
+          // q is already in e.owners, so F_q picks up q itself.
+          for (const Pid p : de.owners) {
+            c.faulty[static_cast<std::size_t>(p)].insert(q);
+          }
+        }
+        c.faulty[static_cast<std::size_t>(q)] |= e.disjoint_owners;
+      }
+      merged.push_back(id);
+    }
+    assert(j == owned.size());
+    owned = std::move(merged);
+    c.synced[static_cast<std::size_t>(q)] = qs.size();
+  }
+  c.generation = generation_;
+  return c;
+}
+
 ProcessSet QuorumHistory::considered_faulty(Pid self) const {
+  const Cache& c = cache();
+  const ProcessSet out = c.faulty[static_cast<std::size_t>(self)];
+  assert(out == considered_faulty_slow(self));
+  return out;
+}
+
+bool QuorumHistory::distrusts(Pid self, Pid q) const {
+  const Cache& c = cache();
+  // Union commutes with subtracting the fixed F_self, so "some entry of q
+  // has a disjoint owner outside F_self" is exactly "F_q is not a subset
+  // of F_self" — one word-wise test per call, no per-entry walk.
+  const bool out = !c.faulty[static_cast<std::size_t>(q)].is_subset_of(
+      c.faulty[static_cast<std::size_t>(self)]);
+  assert(out == distrusts_slow(self, q));
+  return out;
+}
+
+ProcessSet QuorumHistory::considered_faulty_slow(Pid self) const {
   ProcessSet out;
   const auto& mine = of(self);
   for (Pid q = 0; q < n_; ++q) {
-    for (ProcessSet quorum : of(q)) {
-      for (ProcessSet own : mine) {
+    for (const ProcessSet& quorum : of(q)) {
+      for (const ProcessSet& own : mine) {
         if (!quorum.intersects(own)) {
           out.insert(q);
           break;
@@ -47,12 +176,12 @@ ProcessSet QuorumHistory::considered_faulty(Pid self) const {
   return out;
 }
 
-bool QuorumHistory::distrusts(Pid self, Pid q) const {
-  const ProcessSet faulty = considered_faulty(self);
+bool QuorumHistory::distrusts_slow(Pid self, Pid q) const {
+  const ProcessSet faulty = considered_faulty_slow(self);
   for (Pid r = 0; r < n_; ++r) {
     if (faulty.contains(r)) continue;
-    for (ProcessSet rq : of(r)) {
-      for (ProcessSet qq : of(q)) {
+    for (const ProcessSet& rq : of(r)) {
+      for (const ProcessSet& qq : of(q)) {
         if (!qq.intersects(rq)) return true;
       }
     }
@@ -70,7 +199,7 @@ void QuorumHistory::encode(ByteWriter& w) const {
   w.pid(n_);
   for (const auto& sets : sets_) {
     w.uvarint(sets.size());
-    for (ProcessSet q : sets) w.process_set(q);
+    for (const ProcessSet& q : sets) w.process_set(q, n_);
   }
 }
 
@@ -81,10 +210,24 @@ std::optional<QuorumHistory> QuorumHistory::decode(ByteReader& r) {
   for (Pid q = 0; q < *n; ++q) {
     const auto len = r.uvarint();
     if (!len) return std::nullopt;
+    auto& sets = h.sets_[static_cast<std::size_t>(q)];
+    // Every quorum needs at least one payload byte, so clamping the
+    // reservation to the remaining input keeps a malicious length from
+    // pre-allocating unbounded memory before the read fails.
+    sets.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(*len, r.remaining())));
     for (std::uint64_t i = 0; i < *len; ++i) {
-      const auto quorum = r.process_set();
+      const auto quorum = r.process_set(*n);
       if (!quorum) return std::nullopt;
-      h.insert(q, *quorum);
+      // Our encoder writes each process's quorums sorted and deduplicated,
+      // so appends dominate; the insert fallback keeps arbitrary (fuzzed,
+      // hand-built) orderings decoding to the identical history.
+      if (sets.empty() || sets.back() < *quorum) {
+        sets.push_back(*quorum);
+        ++h.generation_;
+      } else if (*quorum < sets.back()) {
+        h.insert(q, *quorum);
+      }
     }
   }
   return h;

@@ -10,9 +10,24 @@
 //                  of r that are disjoint (line 53).
 //
 // Quorums are only ever added (Observation 6.10), so F_p is monotone
-// (Observation 6.11).
+// (Observation 6.11). That monotonicity is what makes the queries cheap to
+// maintain incrementally: the history keeps a lazily synced cache of
+// distinct quorum values ("entries"), each carrying its owner set and the
+// set of processes owning a quorum disjoint from it. A new quorum is
+// interned once (one disjointness scan over the distinct values); membership
+// and distrust queries then read the precomputed owner/disjoint-owner sets
+// instead of re-running the triple loop over all (q, quorum, own) triples on
+// every A_nuc step. Note distrust itself is NOT monotone in the witness — r
+// may later join F_p — so the cache stores the disjointness *relation*, not
+// boolean distrust results; queries subtract the current F_p at read time.
+//
+// Debug builds (!NDEBUG) cross-check every cached query against the
+// recompute-from-scratch reference (considered_faulty_slow / distrusts_slow).
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -25,10 +40,16 @@ class QuorumHistory {
  public:
   explicit QuorumHistory(Pid n);
 
+  QuorumHistory(const QuorumHistory& other);
+  QuorumHistory& operator=(const QuorumHistory& other);
+  QuorumHistory(QuorumHistory&&) noexcept = default;
+  QuorumHistory& operator=(QuorumHistory&&) noexcept = default;
+  ~QuorumHistory() = default;
+
   [[nodiscard]] Pid n() const { return n_; }
 
   /// H[q] <- H[q] u {quorum}.
-  void insert(Pid q, ProcessSet quorum);
+  void insert(Pid q, const ProcessSet& quorum);
 
   /// import_history (Fig. 5 lines 44-46): pointwise union.
   void import(const QuorumHistory& other);
@@ -38,13 +59,20 @@ class QuorumHistory {
     return sets_[static_cast<std::size_t>(q)];
   }
 
-  [[nodiscard]] bool knows(Pid q, ProcessSet quorum) const;
+  [[nodiscard]] bool knows(Pid q, const ProcessSet& quorum) const;
 
   /// F_p for p = self (Fig. 5 line 52).
   [[nodiscard]] ProcessSet considered_faulty(Pid self) const;
 
   /// distrusts(q) for p = self (Fig. 5 lines 51-53).
   [[nodiscard]] bool distrusts(Pid self, Pid q) const;
+
+  /// Recompute-from-scratch reference implementations of the two queries
+  /// above. The cached versions must agree with these on every history (the
+  /// scale-label equivalence oracle and the !NDEBUG cross-check both pin
+  /// it); they are the pre-cache triple loops, kept verbatim.
+  [[nodiscard]] ProcessSet considered_faulty_slow(Pid self) const;
+  [[nodiscard]] bool distrusts_slow(Pid self, Pid q) const;
 
   /// Total number of (process, quorum) entries.
   [[nodiscard]] std::size_t size() const;
@@ -53,9 +81,53 @@ class QuorumHistory {
   [[nodiscard]] static std::optional<QuorumHistory> decode(ByteReader& r);
 
  private:
+  /// One distinct quorum value across the whole history.
+  struct Entry {
+    ProcessSet quorum;
+    /// Processes q with quorum in H[q].
+    ProcessSet owners;
+    /// Processes owning some known quorum disjoint from this one (an empty
+    /// quorum counts as disjoint from itself).
+    ProcessSet disjoint_owners;
+    /// Ids of entries whose quorum is disjoint from this one.
+    std::vector<std::uint32_t> disjoint_entries;
+  };
+
+  struct Cache {
+    std::vector<Entry> entries;
+    /// quorum value -> entry id.
+    std::map<ProcessSet, std::uint32_t> index;
+    /// Per process: owned entry ids, sorted by quorum value (mirrors the
+    /// order of sets_[q]).
+    std::vector<std::vector<std::uint32_t>> owned;
+    /// Per process p: F_p, the union of disjoint_owners over p's owned
+    /// entries, maintained eagerly as ownerships fold in. Makes
+    /// considered_faulty a copy and distrusts a subset test — the identity
+    /// is that union commutes with subtracting the fixed F_self, so
+    /// "some owned entry has a disjoint owner outside F_self" collapses to
+    /// "F_q is not a subset of F_self".
+    std::vector<ProcessSet> faulty;
+    /// Per process: how many quorums of sets_[q] are folded into the cache.
+    std::vector<std::size_t> synced;
+    /// Value of generation_ the cache was last synced at.
+    std::uint64_t generation = 0;
+  };
+
+  /// Brings the cache up to date with sets_ and returns it. For processes
+  /// whose quorum count is unchanged this skips immediately; otherwise it
+  /// merges the sorted quorum list against the sorted owned-entry list and
+  /// interns only the new values (Observation 6.10: nothing is ever
+  /// removed, so folded quorums are always still present).
+  Cache& cache() const;
+
+  std::uint32_t intern(Cache& c, const ProcessSet& quorum) const;
+
   Pid n_;
   /// sets_[q] = known quorums of q, kept sorted and deduplicated.
   std::vector<std::vector<ProcessSet>> sets_;
+  /// Bumped on every successful insert; cheap cache-freshness check.
+  std::uint64_t generation_ = 0;
+  mutable std::unique_ptr<Cache> cache_;
 };
 
 }  // namespace nucon

@@ -50,7 +50,7 @@ bool SigmaNuToPlus::try_emit(NodeRef fresh) {
 
 bool SigmaNuToPlus::save_state(ByteWriter& w) const {
   core_.save(w);
-  w.process_set(output_);
+  w.process_set(output_, n_);
   w.svarint(u_.q);
   w.uvarint(u_.k);
   w.svarint(outputs_);
@@ -59,7 +59,7 @@ bool SigmaNuToPlus::save_state(ByteWriter& w) const {
 
 bool SigmaNuToPlus::restore_state(ByteReader& r) {
   if (!core_.restore(r)) return false;
-  const auto output = r.process_set();
+  const auto output = r.process_set(n_);
   const auto uq = r.svarint();
   const auto uk = r.uvarint();
   const auto outputs = r.svarint();

@@ -63,7 +63,7 @@ Bytes SampleDag::serialize() const {
   for (const auto& chain : chains_) {
     w.uvarint(chain.size());
     for (const Node& node : chain) {
-      node.d.encode(w);
+      node.d.encode(w, n_);
       for (std::uint32_t c : node.vc) w.uvarint(c);
     }
   }
@@ -85,7 +85,7 @@ std::optional<SampleDag> SampleDag::deserialize(const Bytes& data) {
     chain.reserve(static_cast<std::size_t>(*len));
     for (std::uint64_t k = 0; k < *len; ++k) {
       Node node;
-      const auto d = FdValue::decode(r);
+      const auto d = FdValue::decode(r, *n);
       if (!d) return std::nullopt;
       node.d = *d;
       node.vc.resize(static_cast<std::size_t>(*n));

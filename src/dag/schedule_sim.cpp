@@ -39,7 +39,7 @@ ChainSimOutcome simulate_chain(const SampleDag& dag,
 
     sends.clear();
     if (msg) {
-      const Incoming in{msg->id.sender, &msg->payload.get()};
+      const Incoming in{msg->id.sender, &msg->payload.get(), &msg->payload};
       automata[static_cast<std::size_t>(p)]->step(&in, d, sends);
     } else {
       automata[static_cast<std::size_t>(p)]->step(nullptr, d, sends);

@@ -116,7 +116,7 @@ struct PointSetup {
                          implemented_mode_of(pt.algo))
                    : HostedConsensus{}),
         oracle(pt.algo, fp, pt.stabilize, pt.faulty_mode, pt.seed,
-               hosted.board),
+               hosted.board, pt.hold),
         make(hosted.board ? hosted.factory
                           : consensus_factory_of(pt.algo, pt.n, pt.seed)),
         proposals(proposals_of(pt)) {
@@ -138,10 +138,11 @@ std::string cell_spec_of(const SweepPoint& pt) {
      << " faults=" << pt.faults << " stab=" << pt.stabilize
      << " crash=" << pt.crash_at << " mode=" << mode_name(pt.faulty_mode)
      << " steps=" << pt.max_steps;
-  // Printed only off-default: specs and artifacts from before the fd
-  // dimension existed (including those embedded in golden traces) must
-  // stay byte-identical.
+  // Printed only off-default: specs and artifacts from before the fd and
+  // hold dimensions existed (including those embedded in golden traces)
+  // must stay byte-identical.
   if (pt.fd != FdSource::kGenerated) os << " fd=" << fd_source_name(pt.fd);
+  if (pt.hold != 8) os << " hold=" << pt.hold;
   return os.str();
 }
 
@@ -215,7 +216,7 @@ bool supports_implemented_fd(Algo a) {
 
 AlgoOracles::AlgoOracles(Algo algo, const FailurePattern& fp, Time stabilize,
                          FaultyQuorumBehavior faulty_mode, std::uint64_t seed,
-                         std::shared_ptr<FdBoard> board) {
+                         std::shared_ptr<FdBoard> board, Time hold) {
   if (board && !supports_implemented_fd(algo)) {
     throw std::invalid_argument(
         "AlgoOracles: algorithm has no Omega/<>S layer to implement");
@@ -238,6 +239,7 @@ AlgoOracles::AlgoOracles(Algo algo, const FailurePattern& fp, Time stabilize,
       spo.stabilize_at = stabilize;
       spo.seed = seed + 0x53;
       spo.faulty = faulty_mode;
+      spo.hold = hold;
       auto& plus = make<SigmaNuPlusOracle>(fp, spo);
       make<ComposedOracle>(omega, plus);
       break;
@@ -249,6 +251,7 @@ AlgoOracles::AlgoOracles(Algo algo, const FailurePattern& fp, Time stabilize,
       sno.stabilize_at = stabilize;
       sno.seed = seed + 0x52;
       sno.faulty = faulty_mode;
+      sno.hold = hold;
       auto& nu = make<SigmaNuOracle>(fp, sno);
       make<ComposedOracle>(omega, nu);
       break;
@@ -262,6 +265,7 @@ AlgoOracles::AlgoOracles(Algo algo, const FailurePattern& fp, Time stabilize,
       SigmaOptions so;
       so.stabilize_at = stabilize;
       so.seed = seed + 0x51;
+      so.hold = hold;
       auto& sigma = make<SigmaOracle>(fp, so);
       make<ComposedOracle>(omega, sigma);
       break;
@@ -361,6 +365,7 @@ std::string ReplayArtifact::to_string() const {
   if (point.fd != FdSource::kGenerated) {
     os << " fd=" << fd_source_name(point.fd);
   }
+  if (point.hold != 8) os << " hold=" << point.hold;
   return os.str();
 }
 
@@ -410,6 +415,8 @@ std::optional<ReplayArtifact> ReplayArtifact::parse(const std::string& line) {
         pt.faults = static_cast<Pid>(v);
       } else if (key == "stab") {
         pt.stabilize = v;
+      } else if (key == "hold") {
+        pt.hold = v;
       } else if (key == "crash") {
         pt.crash_at = v;
       } else if (key == "steps") {
@@ -420,7 +427,7 @@ std::optional<ReplayArtifact> ReplayArtifact::parse(const std::string& line) {
     }
   }
   if (!saw_algo || pt.n < 2 || pt.n > kMaxProcesses || pt.faults < 0 ||
-      pt.faults >= pt.n || pt.max_steps <= 0 ||
+      pt.faults >= pt.n || pt.max_steps <= 0 || pt.hold < 1 ||
       (pt.fd == FdSource::kImplemented && !supports_implemented_fd(pt.algo))) {
     return std::nullopt;
   }

@@ -90,7 +90,7 @@ class AlgoOracles {
   /// seed offsets are unchanged. ben-or / from-scratch reject a board.
   AlgoOracles(Algo algo, const FailurePattern& fp, Time stabilize,
               FaultyQuorumBehavior faulty_mode, std::uint64_t seed,
-              std::shared_ptr<FdBoard> board = nullptr);
+              std::shared_ptr<FdBoard> board = nullptr, Time hold = 8);
 
   [[nodiscard]] Oracle& top() { return *top_; }
 
@@ -118,6 +118,14 @@ struct SweepPoint {
   Pid faults = 1;
   /// Oracle stabilization time (Omega and the quorum component).
   Time stabilize = 120;
+  /// Redraw interval for the quorum detectors' noisy component (SigmaOptions
+  /// ::hold and friends). The default matches the oracle defaults and is the
+  /// adversarial-noise regime: quorums keep churning forever relative to a
+  /// round (3n^2 steps), so histories grow with every await step. Scaling
+  /// benches raise it to ~rounds so they measure the post-GST regime where
+  /// the quorum stream is stable; printed in specs only off-default, so
+  /// pre-existing artifacts (and golden traces) are untouched.
+  Time hold = 8;
   /// 0 spreads crashes randomly before `stabilize`; > 0 pins them all here.
   Time crash_at = 0;
   FaultyQuorumBehavior faulty_mode = FaultyQuorumBehavior::kAdversarialDisjoint;

@@ -40,17 +40,14 @@ CheckResult eventually_all_correct(const RecordedHistory& h,
 /// Unique quorum values among samples of the given processes.
 std::vector<ProcessSet> unique_quorums(const RecordedHistory& h,
                                        ProcessSet from) {
-  std::vector<std::uint64_t> masks;
+  std::vector<ProcessSet> out;
   for (const Sample& s : h.samples()) {
     if (from.contains(s.p) && s.value.has_quorum()) {
-      masks.push_back(s.value.quorum().mask());
+      out.push_back(s.value.quorum());
     }
   }
-  std::sort(masks.begin(), masks.end());
-  masks.erase(std::unique(masks.begin(), masks.end()), masks.end());
-  std::vector<ProcessSet> out;
-  out.reserve(masks.size());
-  for (std::uint64_t m : masks) out.push_back(ProcessSet::from_mask(m));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

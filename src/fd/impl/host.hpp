@@ -19,8 +19,8 @@
 // reads the value it had when the step started.
 #pragma once
 
-#include <array>
 #include <memory>
+#include <vector>
 
 #include "fd/failure_detector.hpp"
 #include "fd/impl/heartbeat.hpp"
@@ -32,9 +32,8 @@ namespace nucon {
 /// (reader) of one run. Not thread-safe; one run executes on one thread.
 class FdBoard {
  public:
-  FdBoard(Pid n, const FdValue& initial) {
-    for (Pid p = 0; p < n; ++p) values_[static_cast<std::size_t>(p)] = initial;
-  }
+  FdBoard(Pid n, const FdValue& initial)
+      : values_(static_cast<std::size_t>(n), initial) {}
 
   void publish(Pid p, const FdValue& v) {
     values_[static_cast<std::size_t>(p)] = v;
@@ -45,7 +44,7 @@ class FdBoard {
   }
 
  private:
-  std::array<FdValue, kMaxProcesses> values_{};
+  std::vector<FdValue> values_;
 };
 
 /// Oracle facade over a board. Deterministic within a run: each (p, t) is

@@ -89,7 +89,9 @@ double ProfileCollector::ns_per_call(Phase ph) const {
 
 double ProfileCollector::covered_fraction() const {
   const std::int64_t envelope = phase(Phase::kStep).ticks;
-  if (envelope <= 0) return 1.0;
+  // An empty (or clamped-to-zero) envelope reports zero coverage: "no
+  // timing data" must be distinguishable from "fully covered" in reports.
+  if (envelope <= 0) return 0.0;
   std::int64_t inner = 0;
   for (int i = 0; i < kPhaseCount; ++i) {
     if (static_cast<Phase>(i) == Phase::kStep) continue;

@@ -114,9 +114,10 @@ class ProfileCollector {
   [[nodiscard]] double ns_per_call(Phase ph) const;
 
   /// Fraction of the kStep envelope covered by the inner phases
-  /// (1.0 when the envelope is empty). The lap discipline in the
-  /// scheduler makes this ~1 by construction; the prof-labeled tests pin
-  /// >= 0.9 as the acceptance floor.
+  /// (0.0 when the envelope is empty, so an empty collector can never
+  /// masquerade as perfect coverage next to all-zero timings). The lap
+  /// discipline in the scheduler makes this ~1 by construction; the
+  /// prof-labeled tests pin >= 0.9 as the acceptance floor.
   [[nodiscard]] double covered_fraction() const;
 
   /// One line per non-empty phase: name, calls, total ms, ns/call, share.
@@ -161,12 +162,17 @@ class StepProbe {
   void lap(Phase ph) {
     if (c_ == nullptr) return;
     const std::uint64_t now = ticks_now();
-    c_->record(ph, now - last_);
+    // Clamp instead of trusting the TSC: a backwards step (SMI, migration
+    // across unsynced sockets) would otherwise wrap to a huge unsigned
+    // delta and poison the phase total into nonsense (the all-zero-ns
+    // H3 rendering bug).
+    c_->record(ph, now >= last_ ? now - last_ : 0);
     last_ = now;
   }
   void finish() {
     if (c_ == nullptr) return;
-    c_->record(Phase::kStep, ticks_now() - start_);
+    const std::uint64_t now = ticks_now();
+    c_->record(Phase::kStep, now >= start_ ? now - start_ : 0);
   }
 
  private:
@@ -189,7 +195,9 @@ class ScopedProbe {
   ScopedProbe(ProfileCollector* c, Phase ph)
       : c_(c), ph_(ph), t0_(c ? ticks_now() : 0) {}
   ~ScopedProbe() {
-    if (c_ != nullptr) c_->record(ph_, ticks_now() - t0_);
+    if (c_ == nullptr) return;
+    const std::uint64_t now = ticks_now();
+    c_->record(ph_, now >= t0_ ? now - t0_ : 0);  // clamp, as StepProbe::lap
   }
   ScopedProbe(const ScopedProbe&) = delete;
   ScopedProbe& operator=(const ScopedProbe&) = delete;

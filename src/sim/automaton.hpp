@@ -25,6 +25,12 @@ namespace nucon {
 struct Incoming {
   Pid from = -1;
   const Bytes* payload = nullptr;
+  /// The refcounted payload the bytes live in, when the deliverer has one
+  /// (the schedulers set it; multiplexers handing out re-framed sub-buffers
+  /// leave it null). Lets receivers of a broadcast share one decode of the
+  /// sealed buffer instead of parsing identical bytes n times; `*payload`
+  /// aliases `shared->get()` whenever it is set.
+  const SharedBytes* shared = nullptr;
 };
 
 /// A message an automaton asks to send during a step. The payload is

@@ -6,30 +6,39 @@ namespace nucon {
 
 void MessageBuffer::add(Message m) {
   assert(m.to >= 0 && m.to < kMaxProcesses);
-  queues_[m.to].push_back(std::move(m));
+  const auto to = static_cast<std::size_t>(m.to);
+  if (to >= queues_.size()) queues_.resize(to + 1);
+  // Send times are the scheduler's global clock, which never moves
+  // backwards, so each destination FIFO stays sorted by sent_at and
+  // oldest_sent_at can read front() instead of scanning.
+  assert(queues_[to].empty() || queues_[to].back().sent_at <= m.sent_at);
+  queues_[to].push_back(std::move(m));
   ++total_;
 }
 
 std::size_t MessageBuffer::pending_for(Pid q) const {
   assert(q >= 0 && q < kMaxProcesses);
-  return queues_[q].size();
+  const auto i = static_cast<std::size_t>(q);
+  return i < queues_.size() ? queues_[i].size() : 0;
 }
 
 const Message& MessageBuffer::peek(Pid q, std::size_t i) const {
   assert(i < pending_for(q));
-  return queues_[q][i];
+  return queues_[static_cast<std::size_t>(q)][i];
 }
 
 Message MessageBuffer::take(Pid q, std::size_t i) {
   assert(i < pending_for(q));
-  Message m = std::move(queues_[q][i]);
-  queues_[q].erase(queues_[q].begin() + static_cast<std::ptrdiff_t>(i));
+  auto& queue = queues_[static_cast<std::size_t>(q)];
+  Message m = std::move(queue[i]);
+  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
   --total_;
   return m;
 }
 
 std::optional<Message> MessageBuffer::take_by_id(Pid q, MsgId id) {
-  auto& queue = queues_[q];
+  if (pending_for(q) == 0) return std::nullopt;
+  auto& queue = queues_[static_cast<std::size_t>(q)];
   for (std::size_t i = 0; i < queue.size(); ++i) {
     if (queue[i].id == id) return take(q, i);
   }
@@ -37,10 +46,8 @@ std::optional<Message> MessageBuffer::take_by_id(Pid q, MsgId id) {
 }
 
 std::optional<Time> MessageBuffer::oldest_sent_at(Pid q) const {
-  if (queues_[q].empty()) return std::nullopt;
-  Time oldest = queues_[q].front().sent_at;
-  for (const Message& m : queues_[q]) oldest = std::min(oldest, m.sent_at);
-  return oldest;
+  if (pending_for(q) == 0) return std::nullopt;
+  return queues_[static_cast<std::size_t>(q)].front().sent_at;
 }
 
 }  // namespace nucon

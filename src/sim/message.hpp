@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "sim/failure_pattern.hpp"
 #include "util/bytes.hpp"
@@ -43,6 +44,9 @@ struct Message {
 /// buffer only tracks what is deliverable.
 class MessageBuffer {
  public:
+  /// Appends to the destination's FIFO. Send times are nondecreasing per
+  /// queue (the simulation clock only moves forward), asserted in debug
+  /// builds; oldest_sent_at() reads the front in O(1) on that invariant.
   void add(Message m);
 
   /// Number of messages pending for q.
@@ -64,8 +68,11 @@ class MessageBuffer {
   [[nodiscard]] std::optional<Time> oldest_sent_at(Pid q) const;
 
  private:
-  // One FIFO per destination; indexed by pid.
-  std::deque<Message> queues_[kMaxProcesses];
+  // One FIFO per destination; indexed by pid. Grown lazily to the highest
+  // destination seen: a fixed kMaxProcesses array of deques would cost
+  // ~0.5MB per buffer (libstdc++ preallocates a node per deque) and the
+  // checkers clone buffers freely.
+  std::vector<std::deque<Message>> queues_;
   std::size_t total_ = 0;
 };
 

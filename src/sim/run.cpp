@@ -41,7 +41,7 @@ ReplayOutcome replay(const Run& run, Pid n, const AutomatonFactory& make) {
 
     sends.clear();
     if (msg) {
-      const Incoming in{msg->id.sender, &msg->payload.get()};
+      const Incoming in{msg->id.sender, &msg->payload.get(), &msg->payload};
       out.automata[static_cast<std::size_t>(s.p)]->step(&in, s.d, sends);
     } else {
       out.automata[static_cast<std::size_t>(s.p)]->step(nullptr, s.d, sends);

@@ -103,6 +103,11 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
   std::int64_t& m_decides = metrics.counter("scheduler.decides");
   trace::Histogram& m_delay = metrics.histogram("scheduler.delivery_delay");
   trace::Histogram& m_payload = metrics.histogram("scheduler.payload_bytes");
+  // Messages examined when the fairness backstop fires: with the
+  // destination-sharded buffer this is the length of ONE shard (the
+  // stale destination's FIFO), not the global pending count — the
+  // histogram makes that win visible in reports.
+  trace::Histogram& m_scan = metrics.histogram("scheduler.pending_scan_length");
   // Registered lazily: runs without the injection hook must keep
   // byte-identical metrics content.
   std::int64_t* m_injected =
@@ -188,6 +193,9 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
                          : choose_delivery(buffer, p, now, opts, rng);
       }
       std::optional<Message> msg;
+      if (delivery && delivery->forced) {
+        m_scan.add(static_cast<std::int64_t>(buffer.pending_for(p)));
+      }
       if (delivery) msg = buffer.take(p, delivery->index);
       probe.lap(prof::Phase::kDeliveryChoice);
 
@@ -217,7 +225,7 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
 
       sends.clear();
       if (msg) {
-        const Incoming in{msg->id.sender, &msg->payload.get()};
+        const Incoming in{msg->id.sender, &msg->payload.get(), &msg->payload};
         result.automata[static_cast<std::size_t>(p)]->step(&in, d, sends);
       } else {
         result.automata[static_cast<std::size_t>(p)]->step(nullptr, d, sends);
@@ -275,6 +283,16 @@ SimResult simulate(const FailurePattern& fp, Oracle& oracle,
       if (++steps_taken >= opts.max_steps) break;
     }
     ++round_index;
+
+#ifndef NDEBUG
+    // Shard/global bookkeeping agreement: the per-destination queue sizes
+    // must always sum to the buffer's global pending count.
+    {
+      std::size_t shard_sum = 0;
+      for (Pid q = 0; q < n; ++q) shard_sum += buffer.pending_for(q);
+      assert(shard_sum == buffer.total_pending());
+    }
+#endif
 
     if (opts.stop_when && opts.stop_when(result.automata)) {
       result.stopped_by_predicate = true;

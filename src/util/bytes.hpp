@@ -47,7 +47,18 @@ class ByteWriter {
 
   void pid(Pid p) { svarint(p); }
 
-  void process_set(ProcessSet s) { u64(s.mask()); }
+  /// Legacy single-word form: exactly the <=64-process wire format. Asserts
+  /// the set fits; wide sets go through the width-aware overload below.
+  void process_set(const ProcessSet& s) { u64(s.mask()); }
+
+  /// Width-aware form: n <= 64 emits the legacy single u64 (byte-identical
+  /// to the old format), larger n emits ceil(n/64) little-endian words. The
+  /// word count is derived from n on both sides, so no length prefix.
+  void process_set(const ProcessSet& s, Pid n) {
+    assert(n >= 1 && n <= kMaxProcesses);
+    const int words = (static_cast<int>(n) + 63) / 64;
+    for (int i = 0; i < words; ++i) u64(s.word(i));
+  }
 
   void str(std::string_view s) {
     uvarint(s.size());
@@ -129,6 +140,26 @@ class ByteReader {
     const auto m = u64();
     if (!m) return std::nullopt;
     return ProcessSet::from_mask(*m);
+  }
+
+  /// Width-aware form matching ByteWriter::process_set(s, n). Rejects any
+  /// member >= n, so a payload encoded at one width cannot silently decode
+  /// at another (cross-width decode rejection).
+  [[nodiscard]] std::optional<ProcessSet> process_set(Pid n) {
+    assert(n >= 1 && n <= kMaxProcesses);
+    const int words = (static_cast<int>(n) + 63) / 64;
+    ProcessSet s;
+    for (int i = 0; i < words; ++i) {
+      const auto w = u64();
+      if (!w) return std::nullopt;
+      const int low = 64 * i;  // first pid of this word
+      const std::uint64_t valid =
+          n - low >= 64 ? ~std::uint64_t{0}
+                        : ((std::uint64_t{1} << (n - low)) - 1);
+      if ((*w & ~valid) != 0) return std::nullopt;
+      s.set_word(i, *w);
+    }
+    return s;
   }
 
   [[nodiscard]] std::optional<std::string> str() {

@@ -87,6 +87,12 @@ class FdValue {
   void encode(ByteWriter& w) const;
   [[nodiscard]] static std::optional<FdValue> decode(ByteReader& r);
 
+  /// Width-aware forms: identical bytes for n <= 64, multi-word sets (and a
+  /// leader bound check) beyond. Callers that know their n use these so
+  /// payloads stay valid past 64 processes.
+  void encode(ByteWriter& w, Pid n) const;
+  [[nodiscard]] static std::optional<FdValue> decode(ByteReader& r, Pid n);
+
   [[nodiscard]] std::string to_string() const;
 
  private:

@@ -66,19 +66,17 @@ class Rng {
     return below(den) < num;
   }
 
-  /// Uniformly random member of a nonempty ProcessSet.
-  Pid pick(ProcessSet s) {
+  /// Uniformly random member of a nonempty ProcessSet. Same single
+  /// below(size) draw and same chosen member as the old member-scan, so
+  /// replayed executions are unchanged; nth() is a word-skipping select.
+  Pid pick(const ProcessSet& s) {
     assert(!s.empty());
-    auto k = below(static_cast<std::uint64_t>(s.size()));
-    for (Pid p : s) {
-      if (k == 0) return p;
-      --k;
-    }
-    __builtin_unreachable();
+    const auto k = below(static_cast<std::uint64_t>(s.size()));
+    return s.nth(static_cast<int>(k));
   }
 
   /// Uniformly random subset of `universe` with exactly `k` members.
-  ProcessSet pick_subset(ProcessSet universe, int k) {
+  ProcessSet pick_subset(const ProcessSet& universe, int k) {
     assert(k >= 0 && k <= universe.size());
     ProcessSet out;
     ProcessSet remaining = universe;

@@ -101,6 +101,12 @@ class SharedBytes {
   /// use this to frame a broadcast's payload once instead of per share.
   [[nodiscard]] const Bytes* raw() const { return data_.get(); }
 
+  /// A plain keepalive reference to the sealed buffer. Unlike copying the
+  /// SharedBytes this is NOT a network share and is not charged to the
+  /// fan-out counters; decode memoization uses it to pin a buffer so its
+  /// address stays a unique cache key while the entry lives.
+  [[nodiscard]] std::shared_ptr<const Bytes> ref() const { return data_; }
+
   /// Content equality (tests).
   friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
     return a.get() == b.get();

@@ -65,11 +65,20 @@ TEST(Bytes, PidRoundTrip) {
 }
 
 TEST(Bytes, PidRejectsOutOfRange) {
+  // The cap is kMaxProcesses (1024 since the wide-ProcessSet change): 64
+  // is a valid pid now, kMaxProcesses itself is not. Width-specific
+  // bounds (pid < n) are the callers' job — see FdValue::decode(r, n).
   ByteWriter w;
   w.svarint(64);
   const Bytes buf1 = w.take();
   ByteReader r1(buf1);
-  EXPECT_FALSE(r1.pid());
+  EXPECT_EQ(r1.pid(), 64);
+
+  ByteWriter w1;
+  w1.svarint(kMaxProcesses);
+  const Bytes buf1b = w1.take();
+  ByteReader r1b(buf1b);
+  EXPECT_FALSE(r1b.pid());
 
   ByteWriter w2;
   w2.svarint(-1);

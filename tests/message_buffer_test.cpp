@@ -73,11 +73,19 @@ TEST(MessageBuffer, TakeByIdMissing) {
 }
 
 TEST(MessageBuffer, OldestSentAt) {
+  // Send times are nondecreasing per destination queue (the simulation
+  // clock only moves forward), so the oldest send time is the front's —
+  // O(1), no scan of the queue.
   MessageBuffer b;
-  b.add(make_msg(0, 1, 1, 30));
-  b.add(make_msg(0, 2, 1, 10));
+  b.add(make_msg(0, 1, 1, 10));
+  b.add(make_msg(0, 2, 1, 20));
   b.add(make_msg(0, 3, 1, 20));
   EXPECT_EQ(b.oldest_sent_at(1), 10);
+  (void)b.take(1, 0);
+  EXPECT_EQ(b.oldest_sent_at(1), 20);
+  (void)b.take(1, 0);
+  (void)b.take(1, 0);
+  EXPECT_FALSE(b.oldest_sent_at(1));
 }
 
 TEST(MessageBuffer, PayloadPreserved) {

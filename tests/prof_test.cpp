@@ -76,7 +76,10 @@ TEST(Profiler, CollectorArithmeticIsExact) {
   EXPECT_EQ(c.phase(prof::Phase::kStep).calls, 2);
   EXPECT_EQ(c.phase(prof::Phase::kStep).ticks, 2000);
   EXPECT_EQ(c.phase(prof::Phase::kDeliveryChoice).ticks, 1000);
-  EXPECT_DOUBLE_EQ(prof::ProfileCollector{}.covered_fraction(), 1.0);
+  // An empty collector reports zero coverage, not full coverage: "no
+  // timing data" must never render as a healthy coverage=1 row (that
+  // masked the H3 all-zero-ns regression).
+  EXPECT_DOUBLE_EQ(prof::ProfileCollector{}.covered_fraction(), 0.0);
 }
 
 TEST(Profiler, FoldCountsIntoRegistersCallsOnly) {
@@ -149,6 +152,26 @@ TEST(Profiler, SchedulerCoverageMeetsAcceptanceFloor) {
   // The PR's acceptance criterion: the per-phase breakdown accounts for
   // >= 90% of the step envelope. The lap discipline makes it ~100%.
   EXPECT_GE(profile.covered_fraction(), 0.9);
+}
+
+TEST(Profiler, ProfiledRunReportsNonzeroPhaseTimes) {
+  // Regression guard for the H3 "ns/call prints 0 despite coverage=1"
+  // bug: an unserialized rdtsc read taken after a context switch (or SMI)
+  // can precede the probe's previous timestamp, and the unsigned delta
+  // then wrapped to ~2^64 ticks — every later ns_per_call computation
+  // drowned. The probes clamp such deltas to zero now, so a real profiled
+  // run must report strictly positive time in the envelope and in every
+  // phase that executes once per step.
+  prof::ProfileCollector profile;
+  const ConsensusRunStats stats = exp::run_point(small_point(), &profile);
+  ASSERT_GT(stats.steps, 0u);
+  EXPECT_GT(profile.ns_per_call(prof::Phase::kStep), 0.0);
+  EXPECT_GT(profile.ns_per_call(prof::Phase::kAutomatonStep), 0.0);
+  EXPECT_GT(profile.ns_per_call(prof::Phase::kDeliveryChoice), 0.0);
+  // Coverage must also be strictly positive — an all-zero inner breakdown
+  // would report 0 and fail here even if the envelope survived.
+  EXPECT_GT(profile.covered_fraction(), 0.0);
+  EXPECT_LE(profile.covered_fraction(), 1.0);
 }
 
 TEST(Profiler, CallCountsAreDeterministicAcrossRuns) {

@@ -105,6 +105,26 @@ TEST(Scheduler, AllMessagesToCorrectEventuallyDelivered) {
   EXPECT_EQ(admissibility_stats(sim.run, 4, replayed).undelivered_to_correct, 0u);
 }
 
+TEST(Scheduler, ForcedDeliveryScanLengthIsMeasuredAndDeterministic) {
+  // The destination-sharded MessageBuffer makes choose_delivery O(own
+  // queue); the fairness backstop is the one path that still reads a
+  // process's full pending count, and the scheduler histograms that
+  // count per forced delivery. One sample per forced delivery, strictly
+  // positive (a forced delivery implies a nonempty queue), and — being
+  // an integer histogram fed in schedule order — byte-deterministic.
+  const FailurePattern fp(4);
+  auto o1 = null_oracle();
+  const SimResult a = simulate(fp, o1, make_greeter(4), quick(11, 2000));
+  const auto& scan = a.metrics.histograms().at("scheduler.pending_scan_length");
+  EXPECT_EQ(scan.count(),
+            a.metrics.counter_value("scheduler.forced_deliveries"));
+  if (scan.count() > 0) EXPECT_GE(scan.min(), 1);
+
+  auto o2 = null_oracle();
+  const SimResult b = simulate(fp, o2, make_greeter(4), quick(11, 2000));
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
 TEST(Scheduler, DeterministicForSameSeed) {
   const FailurePattern fp(4);
   auto o1 = null_oracle();

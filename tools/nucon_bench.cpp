@@ -173,6 +173,34 @@ int cmd_record(const CommonFlags& flags) {
   return f.good() ? 0 : 2;
 }
 
+/// The H4 scaling table is the wide-set performance contract, so its
+/// steps/s cells are held to a tighter relative tolerance than the global
+/// default: a slide that the 25% envelope would absorb still fails the
+/// check. Keys are collected from both sides so a series that disappears
+/// on one side still diffs under the tightened bound.
+std::map<std::string, double> scaling_guard_overrides(
+    const prof::TrendEntry& before, const prof::TrendEntry& after,
+    double global_tolerance) {
+  constexpr double kTight = 0.10;
+  const double tol = kTight < global_tolerance ? kTight : global_tolerance;
+  constexpr const char* kPrefix = "table:H4:";
+  constexpr const char* kSuffix = ":steps/s";
+  std::map<std::string, double> out;
+  const auto scan = [&](const prof::TrendEntry& e) {
+    for (const auto& [key, value] : e.metrics) {
+      (void)value;
+      const std::size_t suffix_len = std::strlen(kSuffix);
+      if (key.rfind(kPrefix, 0) == 0 && key.size() > suffix_len &&
+          key.compare(key.size() - suffix_len, suffix_len, kSuffix) == 0) {
+        out[key] = tol;
+      }
+    }
+  };
+  scan(before);
+  scan(after);
+  return out;
+}
+
 int cmd_diff(const CommonFlags& flags) {
   if (flags.files.size() != 2) return usage();
   const auto before = load_report(flags.files[0]);
@@ -180,7 +208,9 @@ int cmd_diff(const CommonFlags& flags) {
   const auto after = load_report(flags.files[1]);
   if (!after) return 2;
   const prof::TrendDiff diff =
-      prof::diff_trends(*before, *after, flags.tolerance);
+      prof::diff_trends(*before, *after, flags.tolerance,
+                        scaling_guard_overrides(*before, *after,
+                                                flags.tolerance));
   std::printf("diff %s -> %s\n%s", flags.files[0].c_str(),
               flags.files[1].c_str(),
               prof::render_trend_diff(diff, flags.tolerance).c_str());
@@ -222,8 +252,9 @@ int cmd_check(const CommonFlags& flags) {
       std::printf("%s: 1 entry, no baseline yet\n", key.c_str());
       continue;
     }
-    const prof::TrendDiff diff =
-        prof::diff_trends(entries[0], entries[1], flags.tolerance);
+    const prof::TrendDiff diff = prof::diff_trends(
+        entries[0], entries[1], flags.tolerance,
+        scaling_guard_overrides(entries[0], entries[1], flags.tolerance));
     std::printf("%s: %s (%s) vs %s (%s)\n%s", key.c_str(),
                 entries[0].git_sha.c_str(), entries[0].recorded_at.c_str(),
                 entries[1].git_sha.c_str(), entries[1].recorded_at.c_str(),
